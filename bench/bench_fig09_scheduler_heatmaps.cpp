@@ -1,0 +1,51 @@
+// Paper Fig. 9: ratio of measured vs ideal average bit rate for all four
+// schedulers (default, ECF, DAPS, BLEST) on the 6x6 bandwidth grid. ECF
+// must come closest to ideal under heterogeneity; DAPS must not improve on
+// the default.
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig09_scheduler_heatmaps",
+               "Fig. 9 — measured/ideal bit rate heat maps per scheduler", scale_note());
+
+  const auto& grid = paper_bandwidth_grid();
+  std::vector<std::string> labels = grid_labels();
+
+  double mean_ratio[4] = {};
+  double hetero_ratio[4] = {};
+  int hetero_cells = 0;
+  const auto& scheds = paper_schedulers();  // default, ecf, daps, blest
+
+  for (std::size_t s = 0; s < scheds.size(); ++s) {
+    std::vector<std::vector<double>> ratio(grid.size(), std::vector<double>(grid.size()));
+    int hcells = 0;
+    for (std::size_t w = 0; w < grid.size(); ++w) {
+      for (std::size_t l = 0; l < grid.size(); ++l) {
+        const auto r = run_streaming_cell(grid[w], grid[l], scheds[s]);
+        const double v = r.mean_bitrate_mbps / ideal_bitrate_mbps(grid[w], grid[l]);
+        ratio[l][w] = v;
+        mean_ratio[s] += v;
+        const double het = std::max(grid[w], grid[l]) / std::min(grid[w], grid[l]);
+        if (het >= 4.0) {
+          hetero_ratio[s] += v;
+          ++hcells;
+        }
+      }
+    }
+    hetero_cells = hcells;
+    print_heatmap(std::cout, "(" + std::string(1, static_cast<char>('a' + s)) + ") " + scheds[s],
+                  "LTE (Mbps)", "WiFi (Mbps)", labels, labels,
+                  [&](std::size_t row, std::size_t col) { return ratio[row][col]; });
+  }
+
+  std::printf("\nmean ratio over grid / over heterogeneous cells (het >= 4x):\n");
+  for (std::size_t s = 0; s < scheds.size(); ++s) {
+    std::printf("  %-8s %.3f / %.3f\n", scheds[s].c_str(), mean_ratio[s] / 36.0,
+                hetero_ratio[s] / hetero_cells);
+  }
+  std::printf("paper shape: ecf closest to ideal under heterogeneity; daps <= default\n");
+  return 0;
+}

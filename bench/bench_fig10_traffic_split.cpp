@@ -1,0 +1,37 @@
+// Paper Fig. 10: fraction of traffic scheduled onto the fast subflow for
+// BLEST and ECF against the ideal share, streaming with fixed bandwidth.
+// ECF must track the ideal allocation more closely than BLEST.
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig10_traffic_split",
+               "Fig. 10 — fraction of traffic on fast subflow (BLEST, ECF, ideal)",
+               scale_note());
+
+  const auto& grid = paper_bandwidth_grid();
+  std::vector<std::string> pairs;
+  std::vector<double> blest, ecf, ideal;
+  double err_blest = 0, err_ecf = 0;
+  for (double w : grid) {
+    for (double l : grid) {
+      pairs.push_back(pair_label(w, l));
+      blest.push_back(run_streaming_cell(w, l, "blest").fraction_fast);
+      ecf.push_back(run_streaming_cell(w, l, "ecf").fraction_fast);
+      ideal.push_back(ideal_fast_fraction(std::max(w, l), std::min(w, l)));
+      err_blest += std::abs(blest.back() - ideal.back());
+      err_ecf += std::abs(ecf.back() - ideal.back());
+    }
+  }
+
+  print_grouped(std::cout, "Fraction over fast subflow", "WiFi-LTE", pairs,
+                {"BLEST", "ECF", "ideal"}, [&](std::size_t g, std::size_t s) {
+                  return s == 0 ? blest[g] : s == 1 ? ecf[g] : ideal[g];
+                });
+
+  std::printf("\nmean |measured - ideal|: blest %.3f, ecf %.3f (paper: ecf closer)\n",
+              err_blest / pairs.size(), err_ecf / pairs.size());
+  return 0;
+}

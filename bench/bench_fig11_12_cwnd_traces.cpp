@@ -1,0 +1,53 @@
+// Paper Figs. 11 and 12: WiFi and LTE CWND traces for each scheduler at
+// 0.3 Mbps WiFi / 8.6 Mbps LTE. ECF must hold the LTE window high (few
+// resets to the initial window) while the other schedulers collapse it
+// repeatedly.
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig11_12_cwnd_traces",
+               "Figs. 11/12 — CWND traces, 0.3 Mbps WiFi / 8.6 Mbps LTE", scale_note());
+
+  const auto& scheds = paper_schedulers();
+  std::vector<StreamingResult> results;
+  for (const auto& s : scheds) {
+    StreamingParams p;
+    p.wifi_mbps = 0.3;
+    p.lte_mbps = 8.6;
+    p.scheduler = s;
+    p.video = bench_scale().video;
+    p.collect_traces = true;
+    results.push_back(run_streaming(p));
+  }
+
+  const TimePoint from = TimePoint::origin();
+  const TimePoint to = TimePoint::origin() + bench_scale().video;
+  const Duration bucket = bench_scale().video / 30;
+
+  {
+    std::vector<std::pair<std::string, const TimeSeries*>> series;
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+      series.emplace_back(scheds[i], &results[i].cwnd_wifi);
+    }
+    print_trace(std::cout, "Fig. 11 — WiFi CWND (segments, bucket means)", series, bucket, from,
+                to);
+  }
+  {
+    std::vector<std::pair<std::string, const TimeSeries*>> series;
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+      series.emplace_back(scheds[i], &results[i].cwnd_lte);
+    }
+    print_trace(std::cout, "Fig. 12 — LTE CWND (segments, bucket means)", series, bucket, from,
+                to);
+  }
+
+  std::printf("\nLTE CWND time-means: ");
+  for (std::size_t i = 0; i < scheds.size(); ++i) {
+    std::printf("%s=%.1f ", scheds[i].c_str(), results[i].cwnd_lte.time_mean(from, to));
+  }
+  std::printf("\npaper shape: ecf highest LTE utilization, then blest, daps, default\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Paper Fig. 14: CCDF of out-of-order delay for all four schedulers under a
+// heterogeneous (0.3/8.6) and a relatively symmetric (4.2/8.6) bandwidth
+// pair. ECF must perform best under heterogeneity; little difference under
+// symmetry.
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig14_ooo_schedulers",
+               "Fig. 14 — out-of-order delay CCDF per scheduler", scale_note());
+
+  const auto& scheds = paper_schedulers();
+  const std::pair<double, double> configs[2] = {{0.3, 8.6}, {4.2, 8.6}};
+  const char* names[2] = {"(a) 0.3 Mbps WiFi / 8.6 Mbps LTE", "(b) 4.2 Mbps WiFi / 8.6 Mbps LTE"};
+
+  for (int c = 0; c < 2; ++c) {
+    std::vector<StreamingResult> results;
+    for (const auto& s : scheds) {
+      results.push_back(run_streaming_cell(configs[c].first, configs[c].second, s));
+    }
+    std::vector<std::pair<std::string, const Samples*>> series;
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+      series.emplace_back(scheds[i], &results[i].ooo_delay);
+    }
+    print_distribution(std::cout, names[c], "delay(s)", series, /*ccdf=*/true,
+                       make_x_grid(series, 14));
+    std::printf("p90 delays: ");
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+      std::printf("%s=%.3fs ", scheds[i].c_str(), results[i].ooo_delay.quantile(0.9));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: (a) ecf smallest delays; (b) all similar except daps\n");
+  return 0;
+}

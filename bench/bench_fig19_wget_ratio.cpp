@@ -1,0 +1,58 @@
+// Paper Fig. 19: ECF completion time normalized by the default scheduler
+// over the 10x10 WiFi x LTE grid for four file sizes. Values are clamped to
+// 1.0 when the difference is within one standard deviation (as the paper
+// does); < 1 means ECF faster. ECF must never be meaningfully worse.
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig19_wget_ratio",
+               "Fig. 19 — ECF/default wget completion ratio, 10x10 grid", scale_note());
+
+  const std::vector<std::uint64_t> sizes_kb = {128, 256, 512, 1024};
+  const int runs = bench_scale().wget_runs;
+  const int step = bench_scale().grid_step;
+
+  std::vector<int> points;
+  for (int v = 1; v <= 10; v += step) points.push_back(v);
+  std::vector<std::string> labels;
+  for (int v : points) labels.push_back(std::to_string(v));
+
+  int worse_cells = 0, better_cells = 0;
+  for (std::uint64_t kb : sizes_kb) {
+    std::vector<std::vector<double>> ratio(points.size(), std::vector<double>(points.size()));
+    for (std::size_t wi = 0; wi < points.size(); ++wi) {
+      for (std::size_t li = 0; li < points.size(); ++li) {
+        DownloadParams p;
+        p.wifi_mbps = points[wi];
+        p.lte_mbps = points[li];
+        p.bytes = kb * 1024;
+        p.seed = 100 * static_cast<std::uint64_t>(wi) + static_cast<std::uint64_t>(li);
+        p.scheduler = "default";
+        const Samples def = run_download_samples(p, runs);
+        p.scheduler = "ecf";
+        const Samples ecf = run_download_samples(p, runs);
+        // Paper: set to 1 when within one standard deviation of each other.
+        const double band = std::max(def.stddev(), ecf.stddev());
+        double r = 1.0;
+        if (std::abs(ecf.mean() - def.mean()) > band && def.mean() > 0) {
+          r = ecf.mean() / def.mean();
+        }
+        ratio[li][wi] = r;
+        if (r > 1.05) ++worse_cells;
+        if (r < 0.95) ++better_cells;
+      }
+    }
+    print_heatmap(std::cout, "(" + std::to_string(kb) + " KB) ECF/default completion ratio",
+                  "LTE (Mbps)", "WiFi (Mbps)", labels, labels,
+                  [&](std::size_t row, std::size_t col) { return ratio[row][col]; },
+                  /*lo=*/0.7, /*hi=*/1.3);
+  }
+
+  std::printf("\ncells ECF better: %d, cells ECF worse: %d (paper: better cells only,\n"
+              "concentrated at slow-WiFi rows for >= 256 KB)\n",
+              better_cells, worse_cells);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Paper Fig. 23 + Table 4: in-the-wild web browsing (WDC profile) — CCDFs
+// of object completion time and out-of-order delay, default vs ECF, plus
+// the Table 4 averages (paper: completion 0.882 -> 0.650 s, -26%; OOO delay
+// 0.297 -> 0.087 s, -71%).
+#include "bench/common.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+
+  print_header(std::cout, "bench_fig23_tab4_wild_web",
+               "Fig. 23 / Table 4 — in-the-wild web browsing, default vs ECF", scale_note());
+
+  const WildRunProfile profile = wild_web_profile();
+  WebRunResult results[2];
+  const char* scheds[2] = {"default", "ecf"};
+  for (int s = 0; s < 2; ++s) {
+    WebRunParams p;
+    p.use_path_overrides = true;
+    p.wifi_override = profile.wifi;
+    p.lte_override = profile.lte;
+    p.scheduler = scheds[s];
+    p.runs = bench_scale().web_runs;
+    p.seed = 600;
+    results[s] = run_web(p);
+  }
+
+  {
+    std::vector<std::pair<std::string, const Samples*>> series = {
+        {"Default", &results[0].object_times}, {"ECF", &results[1].object_times}};
+    print_distribution(std::cout, "(a) object download completion time", "time(s)", series,
+                       /*ccdf=*/true, make_x_grid(series, 12));
+  }
+  {
+    std::vector<std::pair<std::string, const Samples*>> series = {
+        {"Default", &results[0].ooo_delay}, {"ECF", &results[1].ooo_delay}};
+    print_distribution(std::cout, "(b) out-of-order delay", "delay(s)", series, /*ccdf=*/true,
+                       make_x_grid(series, 12));
+  }
+
+  const double ct_def = results[0].object_times.mean();
+  const double ct_ecf = results[1].object_times.mean();
+  const double oo_def = results[0].ooo_delay.mean();
+  const double oo_ecf = results[1].ooo_delay.mean();
+  std::printf("\nTable 4 (measured vs paper):\n");
+  std::printf("%28s %10s %10s %14s\n", "", "Default", "ECF", "improvement");
+  std::printf("%28s %10.3f %10.3f %13.0f%%  (paper: 26%% shorter)\n",
+              "completion time (s)", ct_def, ct_ecf, (1.0 - ct_ecf / ct_def) * 100.0);
+  std::printf("%28s %10.3f %10.3f %13.0f%%  (paper: 71%% shorter)\n",
+              "out-of-order delay (s)", oo_def, oo_ecf, (1.0 - oo_ecf / oo_def) * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary prints: a header naming the paper artifact it regenerates,
+// the scale note (MPS_BENCH_SCALE), and then the same rows/series the paper
+// reports, via the trace/emit.h renderers.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/download.h"
+#include "exp/ideal.h"
+#include "exp/scale.h"
+#include "exp/streaming.h"
+#include "exp/testbed.h"
+#include "exp/webrun.h"
+#include "net/wild.h"
+#include "sched/registry.h"
+#include "trace/emit.h"
+
+namespace mps::bench {
+
+// Bandwidth labels like "0.3" for the paper's grid values.
+inline std::vector<std::string> grid_labels() {
+  std::vector<std::string> out;
+  for (double bw : paper_bandwidth_grid()) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", bw);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+inline std::string pair_label(double wifi, double lte) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f-%.1f", wifi, lte);
+  return buf;
+}
+
+// Labels "1 - 1" .. "1 - 10" for the wget experiments.
+inline std::vector<std::string> int_labels(int from, int to) {
+  std::vector<std::string> out;
+  for (int i = from; i <= to; ++i) out.push_back(std::to_string(i));
+  return out;
+}
+
+// Streaming run with bench-scale defaults applied.
+inline StreamingResult run_streaming_cell(double wifi, double lte, const std::string& sched,
+                                          bool collect_traces = false,
+                                          bool idle_reset = true) {
+  StreamingParams p;
+  p.wifi_mbps = wifi;
+  p.lte_mbps = lte;
+  p.scheduler = sched;
+  p.video = bench_scale().video;
+  p.collect_traces = collect_traces;
+  p.idle_cwnd_reset = idle_reset;
+  return run_streaming_avg(p, bench_scale().streaming_runs);
+}
+
+}  // namespace mps::bench

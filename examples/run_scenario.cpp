@@ -1,0 +1,116 @@
+// General-purpose scenario runner: the library's workloads behind one CLI,
+// for quick exploration without writing code.
+//
+//   run_scenario <workload> [options]
+//     workload:   stream | download | web
+//     --wifi M    WiFi downlink Mbps          (default 1.0)
+//     --lte M     LTE downlink Mbps           (default 10.0)
+//     --sched S   default|ecf|blest|daps|rr|single|redundant (default ecf)
+//     --cc C      lia|olia|reno|cubic         (default lia)
+//     --bytes N   download size in bytes      (download only, default 1 MiB)
+//     --video S   video length in seconds     (stream only, default 180)
+//     --seed N    RNG seed                    (default 1)
+//
+//   examples:
+//     run_scenario stream --wifi 0.3 --lte 8.6 --sched default
+//     run_scenario download --bytes 2097152 --sched ecf
+//     run_scenario web --wifi 1 --lte 10 --sched blest
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/download.h"
+#include "exp/ideal.h"
+#include "exp/streaming.h"
+#include "exp/webrun.h"
+
+namespace {
+
+mps::CcKind parse_cc(const std::string& name) {
+  if (name == "olia") return mps::CcKind::kOlia;
+  if (name == "reno") return mps::CcKind::kReno;
+  if (name == "cubic") return mps::CcKind::kCubic;
+  return mps::CcKind::kLia;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mps;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s stream|download|web [--wifi M] [--lte M] [--sched S]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string workload = argv[1];
+  double wifi = 1.0, lte = 10.0;
+  std::string sched = "ecf", cc = "lia";
+  std::uint64_t bytes = 1 << 20, seed = 1;
+  int video_s = 180;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--wifi") wifi = std::atof(value);
+    else if (flag == "--lte") lte = std::atof(value);
+    else if (flag == "--sched") sched = value;
+    else if (flag == "--cc") cc = value;
+    else if (flag == "--bytes") bytes = std::strtoull(value, nullptr, 10);
+    else if (flag == "--video") video_s = std::atoi(value);
+    else if (flag == "--seed") seed = std::strtoull(value, nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  if (workload == "stream") {
+    StreamingParams p;
+    p.wifi_mbps = wifi;
+    p.lte_mbps = lte;
+    p.scheduler = sched;
+    p.cc = parse_cc(cc);
+    p.video = Duration::seconds(video_s);
+    p.seed = seed;
+    const auto r = run_streaming(p);
+    std::printf("stream %s %.1f/%.1f Mbps: bitrate %.2f Mbps (ideal %.2f), tput %.2f Mbps,\n"
+                "  fast-path fraction %.2f, lte IW resets %llu, ooo p50/p99 %.3f/%.3f s,\n"
+                "  rebuffer %.1f s\n",
+                sched.c_str(), wifi, lte, r.mean_bitrate_mbps, ideal_bitrate_mbps(wifi, lte),
+                r.mean_throughput_mbps, r.fraction_fast,
+                static_cast<unsigned long long>(r.iw_resets_lte), r.ooo_delay.quantile(0.5),
+                r.ooo_delay.quantile(0.99), r.rebuffer_time.to_seconds());
+  } else if (workload == "download") {
+    DownloadParams p;
+    p.wifi_mbps = wifi;
+    p.lte_mbps = lte;
+    p.scheduler = sched;
+    p.cc = parse_cc(cc);
+    p.bytes = bytes;
+    p.seed = seed;
+    const auto r = run_download(p);
+    std::printf("download %s %llu bytes over %.1f/%.1f Mbps: %.3f s "
+                "(fast-path fraction %.2f)\n",
+                sched.c_str(), static_cast<unsigned long long>(bytes), wifi, lte,
+                r.completion.to_seconds(), r.fraction_fast);
+  } else if (workload == "web") {
+    WebRunParams p;
+    p.wifi_mbps = wifi;
+    p.lte_mbps = lte;
+    p.scheduler = sched;
+    p.cc = parse_cc(cc);
+    p.runs = 1;
+    p.seed = seed;
+    const auto r = run_web(p);
+    std::printf("web %s %.1f/%.1f Mbps: page %.2f s, object mean/p90/p99 "
+                "%.3f/%.3f/%.3f s, ooo p99 %.3f s\n",
+                sched.c_str(), wifi, lte, r.mean_page_load_s, r.object_times.mean(),
+                r.object_times.quantile(0.9), r.object_times.quantile(0.99),
+                r.ooo_delay.quantile(0.99));
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "app/http.h"
+
+#include <cassert>
+
+namespace mps {
+
+HttpExchange::HttpExchange(Simulator& sim, Connection& conn, Duration request_delay)
+    : sim_(sim), conn_(conn), request_delay_(request_delay) {
+  conn_.on_sendable = [this] { server_pump(); };
+  conn_.on_deliver = [this](std::uint64_t bytes, TimePoint when) { on_delivered(bytes, when); };
+  conn_.on_wire_arrival_hook = [this](std::uint32_t subflow_id, std::uint64_t, std::uint32_t,
+                                      TimePoint when) { on_wire(subflow_id, when); };
+}
+
+HttpExchange::~HttpExchange() {
+  conn_.on_sendable = nullptr;
+  conn_.on_deliver = nullptr;
+  conn_.on_wire_arrival_hook = nullptr;
+}
+
+void HttpExchange::get(std::uint64_t bytes, DoneFn done) {
+  assert(bytes > 0);
+  PendingObject obj;
+  obj.bytes = bytes;
+  obj.result.bytes = bytes;
+  obj.result.requested = sim_.now();
+  obj.result.last_arrival_wifi = TimePoint::never();
+  obj.result.last_arrival_lte = TimePoint::never();
+  obj.done = std::move(done);
+  objects_.push_back(std::move(obj));
+
+  // The GET reaches the server after the one-way control latency; `serving`
+  // marks arrival. Objects are identified positionally: requests arrive in
+  // issue order because the delay is constant.
+  sim_.after(request_delay_, [this] {
+    for (auto& o : objects_) {
+      if (!o.serving) {
+        o.serving = true;
+        break;
+      }
+    }
+    server_pump();
+  });
+}
+
+void HttpExchange::server_pump() {
+  for (auto& obj : objects_) {
+    if (!obj.serving) break;  // FIFO responses; GET not at server yet
+    if (obj.queued_at_server < obj.bytes) {
+      const std::uint64_t accepted = conn_.send(obj.bytes - obj.queued_at_server);
+      if (obj.queued_at_server == 0 && accepted > 0) obj.result.started = sim_.now();
+      obj.queued_at_server += accepted;
+      if (obj.queued_at_server < obj.bytes) break;  // send buffer full
+    }
+  }
+}
+
+void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
+  delivered_total_ += bytes;
+  while (bytes > 0 && !objects_.empty()) {
+    PendingObject& obj = objects_.front();
+    const std::uint64_t want = obj.bytes - obj.delivered;
+    const std::uint64_t take = std::min(bytes, want);
+    obj.delivered += take;
+    bytes -= take;
+    if (obj.delivered < obj.bytes) break;
+    obj.result.completed = when;
+    // Pop before invoking the callback: it may issue the next GET.
+    DoneFn done = std::move(obj.done);
+    const ObjectResult result = obj.result;
+    objects_.pop_front();
+    if (done) done(result);
+  }
+  // Freed receive-side accounting may allow more server writes.
+  server_pump();
+}
+
+void HttpExchange::on_wire(std::uint32_t subflow_id, TimePoint when) {
+  if (objects_.empty()) return;
+  PendingObject& obj = objects_.front();
+  const auto& subflows = conn_.subflows();
+  if (subflow_id >= subflows.size()) return;
+  const std::string& path_name = subflows[subflow_id]->path().name();
+  if (path_name.rfind("wifi", 0) == 0) {
+    obj.result.last_arrival_wifi = when;
+  } else {
+    obj.result.last_arrival_lte = when;
+  }
+}
+
+}  // namespace mps

@@ -1,0 +1,72 @@
+// HTTP-style object transfer over one MPTCP connection.
+//
+// Mirrors the paper's Apache + persistent-connection setup: the client
+// issues GETs (modelled as a one-way control message on the primary path;
+// the upstream direction is never the bottleneck in the testbed), the server
+// streams the response through the connection-level send buffer, and
+// responses on one connection are serialized FIFO as in HTTP/1.1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "mptcp/connection.h"
+#include "sim/simulator.h"
+
+namespace mps {
+
+struct ObjectResult {
+  std::uint64_t bytes = 0;
+  TimePoint requested;   // client issued the GET
+  TimePoint started;     // server began sending
+  TimePoint completed;   // last byte delivered in order to the client app
+  // Wire-arrival time of the last packet per subflow during this object
+  // (paper Fig. 5's "time difference between last packets"); never() when a
+  // subflow carried nothing.
+  TimePoint last_arrival_wifi;
+  TimePoint last_arrival_lte;
+};
+
+class HttpExchange {
+ public:
+  using DoneFn = std::function<void(const ObjectResult&)>;
+
+  // `request_delay`: one-way latency of the GET (primary path's base
+  // one-way delay by default; pass explicitly when known).
+  HttpExchange(Simulator& sim, Connection& conn, Duration request_delay);
+  ~HttpExchange();
+
+  // Issues a GET for an object of `bytes`. Responses are served FIFO;
+  // callers may queue several (browser behaviour differs: see WebBrowser,
+  // which serializes per connection).
+  void get(std::uint64_t bytes, DoneFn done);
+
+  std::size_t outstanding() const { return objects_.size(); }
+  Connection& connection() { return conn_; }
+
+  // Completion time of everything delivered so far.
+  std::uint64_t total_delivered() const { return delivered_total_; }
+
+ private:
+  struct PendingObject {
+    std::uint64_t bytes;
+    std::uint64_t queued_at_server = 0;  // bytes handed to conn.send()
+    std::uint64_t delivered = 0;
+    bool serving = false;
+    ObjectResult result;
+    DoneFn done;
+  };
+
+  void server_pump();
+  void on_delivered(std::uint64_t bytes, TimePoint when);
+  void on_wire(std::uint32_t subflow_id, TimePoint when);
+
+  Simulator& sim_;
+  Connection& conn_;
+  Duration request_delay_;
+  std::deque<PendingObject> objects_;
+  std::uint64_t delivered_total_ = 0;
+};
+
+}  // namespace mps

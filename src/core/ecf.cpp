@@ -1,0 +1,78 @@
+#include "core/ecf.h"
+
+#include <algorithm>
+
+namespace mps {
+
+double ecf_transfer_rounds(double k_packets, double cwnd, double ssthresh) {
+  cwnd = std::max(cwnd, 1.0);
+  ssthresh = std::max(ssthresh, 1.0);
+  if (cwnd >= ssthresh) return k_packets / cwnd;  // paper's CA form
+  double rounds = 0.0;
+  double remaining = k_packets;
+  double w = cwnd;
+  while (remaining > 0.0 && rounds < 128.0) {
+    remaining -= w;
+    rounds += 1.0;
+    w = w < ssthresh ? std::min(2.0 * w, ssthresh) : w + 1.0;
+  }
+  // Fractional last round.
+  if (remaining < 0.0 && rounds >= 1.0) rounds += remaining / (w / 2.0 + 1e-9);
+  return std::max(rounds, 0.0);
+}
+
+EcfDecision ecf_decide(double k_packets, double cwnd_f, double ssthresh_f, double cwnd_s,
+                       double ssthresh_s, double rtt_f_s, double rtt_s_s, double delta_s,
+                       bool waiting, double beta, double staged_f, double staged_s) {
+  const double n = 1.0 + ecf_transfer_rounds(k_packets + staged_f, cwnd_f, ssthresh_f);
+  const double waiting_factor = 1.0 + (waiting ? beta : 0.0);
+
+  if (n * rtt_f_s < waiting_factor * (rtt_s_s + delta_s)) {
+    // Waiting for x_f would complete the k packets sooner than starting on
+    // x_s — provided x_s could not finish the backlog before x_f even gets
+    // a chance (second inequality).
+    if (ecf_transfer_rounds(k_packets + staged_s, cwnd_s, ssthresh_s) * rtt_s_s >=
+        2.0 * rtt_f_s + delta_s) {
+      return EcfDecision::kWait;
+    }
+    return EcfDecision::kUseSlowSmallK;  // Algorithm 1 leaves `waiting` untouched
+  }
+  return EcfDecision::kUseSlow;  // Algorithm 1 sets waiting = 0
+}
+
+Subflow* EcfScheduler::pick(Connection& conn) {
+  Subflow* xf = fastest_established(conn);
+  if (xf == nullptr) return nullptr;
+  if (xf->can_accept()) {
+    // The fastest subflow is available: use it (identical to the default
+    // scheduler in this case).
+    return xf;
+  }
+
+  // Fall back to what the default scheduler would select.
+  Subflow* xs = fastest_available(conn, xf);
+  if (xs == nullptr) return nullptr;
+
+  const double delta =
+      std::max(xf->rtt_stddev().to_seconds(), xs->rtt_stddev().to_seconds());
+  const double mss = static_cast<double>(conn.mss());
+  const EcfDecision decision = ecf_decide(
+      unscheduled_packets(conn), xf->cwnd(), xf->ssthresh(), xs->cwnd(), xs->ssthresh(),
+      xf->rtt_estimate().to_seconds(), xs->rtt_estimate().to_seconds(), delta, waiting_,
+      config_.beta, static_cast<double>(xf->staged_bytes()) / mss,
+      static_cast<double>(xs->staged_bytes()) / mss);
+
+  switch (decision) {
+    case EcfDecision::kWait:
+      waiting_ = true;
+      return nullptr;  // wait for x_f
+    case EcfDecision::kUseSlow:
+      waiting_ = false;
+      return xs;
+    case EcfDecision::kUseSlowSmallK:
+      return xs;  // `waiting` untouched, as in Algorithm 1
+  }
+  return xs;
+}
+
+}  // namespace mps

@@ -1,0 +1,27 @@
+#include "core/scheduler_util.h"
+
+namespace mps {
+
+Subflow* fastest_established(Connection& conn) {
+  Subflow* best = nullptr;
+  for (Subflow* sf : conn.subflows()) {
+    if (!sf->established()) continue;
+    if (best == nullptr || sf->rtt_estimate() < best->rtt_estimate()) best = sf;
+  }
+  return best;
+}
+
+Subflow* fastest_available(Connection& conn, const Subflow* exclude) {
+  Subflow* best = nullptr;
+  for (Subflow* sf : conn.subflows()) {
+    if (sf == exclude || !sf->can_accept()) continue;
+    if (best == nullptr || sf->rtt_estimate() < best->rtt_estimate()) best = sf;
+  }
+  return best;
+}
+
+double unscheduled_packets(const Connection& conn) {
+  return static_cast<double>(conn.unscheduled_bytes()) / static_cast<double>(conn.mss());
+}
+
+}  // namespace mps

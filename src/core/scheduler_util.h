@@ -1,0 +1,20 @@
+// Shared subflow-selection helpers used by ECF and the baseline schedulers.
+#pragma once
+
+#include "mptcp/connection.h"
+#include "tcp/subflow.h"
+
+namespace mps {
+
+// Established subflow with the smallest RTT estimate (may be CWND-limited);
+// nullptr if none are established.
+Subflow* fastest_established(Connection& conn);
+
+// The default-scheduler choice: among subflows that can send now, the one
+// with the smallest RTT estimate; nullptr if none can send.
+Subflow* fastest_available(Connection& conn, const Subflow* exclude = nullptr);
+
+// ECF's k: unscheduled packets waiting in the connection-level send buffer.
+double unscheduled_packets(const Connection& conn);
+
+}  // namespace mps

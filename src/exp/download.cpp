@@ -1,0 +1,47 @@
+#include "exp/download.h"
+
+#include "app/http.h"
+#include "exp/testbed.h"
+#include "sched/registry.h"
+
+namespace mps {
+
+DownloadResult run_download(const DownloadParams& params) {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(params.wifi_mbps));
+  tb.lte = lte_profile(Rate::mbps(params.lte_mbps));
+  tb.seed = params.seed;
+  tb.conn.cc = params.cc;
+
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory(params.scheduler));
+  HttpExchange http(bed.sim(), *conn, bed.request_delay());
+
+  DownloadResult res;
+  http.get(params.bytes, [&](const ObjectResult& r) {
+    res.completion = r.completed - r.requested;
+    bed.sim().request_stop();
+  });
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(600));
+
+  const bool lte_fast = params.lte_mbps > params.wifi_mbps;
+  const auto& subflows = conn->subflows();
+  const std::uint64_t wifi_bytes = subflows[0]->stats().bytes_sent;
+  const std::uint64_t lte_bytes = subflows[1]->stats().bytes_sent;
+  const std::uint64_t total = wifi_bytes + lte_bytes;
+  res.fraction_fast =
+      total > 0 ? static_cast<double>(lte_fast ? lte_bytes : wifi_bytes) / total : 0.0;
+  res.ooo_delay = conn->ooo_delay();
+  return res;
+}
+
+Samples run_download_samples(DownloadParams params, int runs) {
+  Samples out;
+  for (int r = 0; r < runs; ++r) {
+    params.seed += 1;
+    out.add(run_download(params).completion.to_seconds());
+  }
+  return out;
+}
+
+}  // namespace mps

@@ -1,0 +1,34 @@
+// Simple-download (wget) experiment runner: one object over a fresh MPTCP
+// connection (paper Section 5.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tcp/cc.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mps {
+
+struct DownloadParams {
+  double wifi_mbps = 1.0;
+  double lte_mbps = 5.0;
+  std::uint64_t bytes = 512 * 1024;
+  std::string scheduler = "default";
+  CcKind cc = CcKind::kLia;
+  std::uint64_t seed = 1;
+};
+
+struct DownloadResult {
+  Duration completion = Duration::zero();
+  double fraction_fast = 0.0;
+  Samples ooo_delay;
+};
+
+DownloadResult run_download(const DownloadParams& params);
+
+// `runs` seeded repetitions; returns per-run completion times in seconds.
+Samples run_download_samples(DownloadParams params, int runs);
+
+}  // namespace mps

@@ -1,0 +1,34 @@
+// Ideal-performance reference values used by the paper's figures.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace mps {
+
+// Paper Table 1 ladder; shared by the ideal-bitrate definition.
+inline const std::vector<double>& paper_ladder_mbps() {
+  static const std::vector<double> kLadder = {0.26, 0.64, 1.00, 1.60, 4.14, 8.47};
+  return kLadder;
+}
+
+// Paper Section 3.1: "the minimum of the aggregate total bandwidth and the
+// bandwidth required for the highest resolution".
+inline double ideal_bitrate_mbps(double wifi_mbps, double lte_mbps) {
+  return std::min(wifi_mbps + lte_mbps, paper_ladder_mbps().back());
+}
+
+// Ideal fraction of traffic on the fast subflow: its share of the aggregate
+// bandwidth (both paths fully utilized during ON periods).
+inline double ideal_fast_fraction(double fast_mbps, double slow_mbps) {
+  const double total = fast_mbps + slow_mbps;
+  return total > 0.0 ? fast_mbps / total : 0.0;
+}
+
+// The regulated-bandwidth grid of paper Sections 3 and 5.2.
+inline const std::vector<double>& paper_bandwidth_grid() {
+  static const std::vector<double> kGrid = {0.3, 0.7, 1.1, 1.7, 4.2, 8.6};
+  return kGrid;
+}
+
+}  // namespace mps

@@ -1,0 +1,29 @@
+// Bench scaling: paper-scale runs take tens of minutes; the default "quick"
+// scale keeps every bench faithful in shape but minutes-fast. Controlled by
+// the MPS_BENCH_SCALE environment variable ("quick" | "full" | "paper").
+#pragma once
+
+#include <string>
+
+#include "util/time.h"
+
+namespace mps {
+
+struct BenchScale {
+  std::string name = "quick";
+  Duration video = Duration::seconds(180);  // paper: 1200 s
+  int streaming_runs = 1;                   // paper: 5
+  int wget_runs = 5;                        // paper: 30
+  int web_runs = 2;                         // paper: 10 (30 in the wild)
+  int random_scenarios = 4;                 // paper: 10
+  Duration random_run = Duration::seconds(200);  // paper: full video
+  int grid_step = 1;  // use every grid_step-th point of 10x10 wget grids
+};
+
+// Reads MPS_BENCH_SCALE once.
+const BenchScale& bench_scale();
+
+// Human-readable note for bench headers.
+std::string scale_note();
+
+}  // namespace mps

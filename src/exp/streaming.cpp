@@ -1,0 +1,163 @@
+#include "exp/streaming.h"
+
+#include <memory>
+
+#include "app/http.h"
+#include "exp/testbed.h"
+#include "sched/registry.h"
+#include "trace/collect.h"
+
+namespace mps {
+
+namespace {
+
+// Safety cap: streaming can stall indefinitely only through a modelling bug;
+// a generous multiple of the nominal video length bounds every run.
+Duration run_cap(Duration video) { return video * std::int64_t{30} + Duration::seconds(600); }
+
+}  // namespace
+
+StreamingResult run_streaming(const StreamingParams& params) {
+  TestbedConfig tb;
+  if (params.use_path_overrides) {
+    tb.wifi = params.wifi_override;
+    tb.lte = params.lte_override;
+  } else {
+    tb.wifi = wifi_profile(Rate::mbps(params.wifi_mbps));
+    tb.lte = lte_profile(Rate::mbps(params.lte_mbps));
+  }
+  tb.subflows_per_path = params.subflows_per_path;
+  tb.seed = params.seed;
+  tb.conn.cc = params.cc;
+  tb.conn.idle_cwnd_reset = params.idle_cwnd_reset;
+  tb.conn.opportunistic_retransmission = params.opportunistic_rtx;
+  tb.conn.penalization = params.penalization;
+  if (params.staging_bytes > 0) tb.conn.subflow_staging_bytes = params.staging_bytes;
+
+  Testbed bed(tb);
+  auto conn = bed.make_connection(params.scheduler_override
+                                      ? params.scheduler_override
+                                      : scheduler_factory(params.scheduler));
+  HttpExchange http(bed.sim(), *conn, bed.request_delay());
+
+  DashConfig dc;
+  dc.video_duration = params.video;
+  dc.abr = params.abr;
+  DashSession session(bed.sim(), http, dc);
+
+  // Optional time-varying bandwidth.
+  std::unique_ptr<BandwidthSchedule> wifi_sched, lte_sched;
+  if (!params.wifi_trace.empty()) {
+    wifi_sched = std::make_unique<BandwidthSchedule>(bed.sim(), bed.wifi(), params.wifi_trace);
+    wifi_sched->start();
+  }
+  if (!params.lte_trace.empty()) {
+    lte_sched = std::make_unique<BandwidthSchedule>(bed.sim(), bed.lte(), params.lte_trace);
+    lte_sched->start();
+  }
+
+  // Trace collectors (paper Figs. 3, 11, 12).
+  const std::size_t wifi_idx = 0;
+  const std::size_t lte_idx = static_cast<std::size_t>(params.subflows_per_path);
+  auto& subflows = conn->subflows();
+  std::unique_ptr<CwndTracer> cwnd_wifi, cwnd_lte;
+  std::unique_ptr<PeriodicSampler> buf_wifi, buf_lte;
+  if (params.collect_traces) {
+    cwnd_wifi = std::make_unique<CwndTracer>(*subflows[wifi_idx]);
+    cwnd_lte = std::make_unique<CwndTracer>(*subflows[lte_idx]);
+    buf_wifi = std::make_unique<PeriodicSampler>(
+        bed.sim(), Duration::millis(100),
+        [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); });
+    buf_lte = std::make_unique<PeriodicSampler>(
+        bed.sim(), Duration::millis(100),
+        [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); });
+  }
+
+  session.on_finished = [&bed] { bed.sim().request_stop(); };
+  session.start();
+  bed.sim().run_until(TimePoint::origin() + run_cap(params.video));
+
+  // --- collect --------------------------------------------------------------
+  StreamingResult res;
+  res.mean_bitrate_mbps = session.mean_bitrate_mbps();
+  res.mean_throughput_mbps = session.mean_throughput_mbps();
+  res.rebuffer_time = session.rebuffer_time();
+  res.chunks_fetched = static_cast<int>(session.chunks().size());
+  res.chunks = session.chunks();
+  res.ooo_delay = conn->ooo_delay();
+  for (const auto& c : session.chunks()) {
+    if (c.last_packet_gap_s >= 0.0) res.last_packet_gap.add(c.last_packet_gap_s);
+  }
+
+  const double wifi_mbps =
+      params.use_path_overrides ? params.wifi_override.down_rate.to_mbps() : params.wifi_mbps;
+  const double lte_mbps =
+      params.use_path_overrides ? params.lte_override.down_rate.to_mbps() : params.lte_mbps;
+  const bool lte_fast = lte_mbps > wifi_mbps;  // tie -> WiFi (smaller base RTT)
+
+  std::uint64_t bytes_wifi = 0, bytes_lte = 0;
+  RunningStats rtt_wifi, rtt_lte;
+  for (std::size_t i = 0; i < subflows.size(); ++i) {
+    const Subflow& sf = *subflows[i];
+    const bool is_wifi = i < lte_idx;
+    if (is_wifi) {
+      bytes_wifi += sf.stats().bytes_sent;
+      res.iw_resets_wifi += sf.stats().iw_resets;
+      if (sf.rtt().lifetime().count() > 0) rtt_wifi.add(sf.rtt().lifetime().mean());
+    } else {
+      bytes_lte += sf.stats().bytes_sent;
+      res.iw_resets_lte += sf.stats().iw_resets;
+      if (sf.rtt().lifetime().count() > 0) rtt_lte.add(sf.rtt().lifetime().mean());
+    }
+  }
+  const std::uint64_t total = bytes_wifi + bytes_lte;
+  const std::uint64_t fast_bytes = lte_fast ? bytes_lte : bytes_wifi;
+  res.fraction_fast = total > 0 ? static_cast<double>(fast_bytes) / total : 0.0;
+  res.reinjections = conn->meta_stats().reinjections;
+  res.mean_rtt_wifi_ms = rtt_wifi.mean() * 1e3;
+  res.mean_rtt_lte_ms = rtt_lte.mean() * 1e3;
+
+  if (params.collect_traces) {
+    res.cwnd_wifi = cwnd_wifi->series();
+    res.cwnd_lte = cwnd_lte->series();
+    res.sndbuf_wifi = buf_wifi->series();
+    res.sndbuf_lte = buf_lte->series();
+  }
+  return res;
+}
+
+StreamingResult run_streaming_avg(StreamingParams params, int runs) {
+  StreamingResult acc;
+  for (int r = 0; r < runs; ++r) {
+    params.seed = params.seed + static_cast<std::uint64_t>(r == 0 ? 0 : 1);
+    StreamingResult one = run_streaming(params);
+    if (r == 0) {
+      acc = std::move(one);
+      continue;
+    }
+    acc.mean_bitrate_mbps += one.mean_bitrate_mbps;
+    acc.mean_throughput_mbps += one.mean_throughput_mbps;
+    acc.fraction_fast += one.fraction_fast;
+    acc.iw_resets_wifi += one.iw_resets_wifi;
+    acc.iw_resets_lte += one.iw_resets_lte;
+    acc.reinjections += one.reinjections;
+    acc.mean_rtt_wifi_ms += one.mean_rtt_wifi_ms;
+    acc.mean_rtt_lte_ms += one.mean_rtt_lte_ms;
+    acc.ooo_delay.merge(one.ooo_delay);
+    acc.last_packet_gap.merge(one.last_packet_gap);
+  }
+  if (runs > 1) {
+    const double n = runs;
+    acc.mean_bitrate_mbps /= n;
+    acc.mean_throughput_mbps /= n;
+    acc.fraction_fast /= n;
+    acc.iw_resets_wifi = static_cast<std::uint64_t>(acc.iw_resets_wifi / runs);
+    acc.iw_resets_lte = static_cast<std::uint64_t>(acc.iw_resets_lte / runs);
+    acc.reinjections = static_cast<std::uint64_t>(acc.reinjections / runs);
+    acc.mean_rtt_wifi_ms /= n;
+    acc.mean_rtt_lte_ms /= n;
+  }
+  return acc;
+}
+
+}  // namespace mps

@@ -1,0 +1,74 @@
+// Streaming experiment runner: one DASH session over the testbed, with all
+// the observables the paper's streaming figures need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/dash.h"
+#include "net/varbw.h"
+#include "tcp/cc.h"
+#include "trace/series.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mps {
+
+struct StreamingParams {
+  double wifi_mbps = 8.6;
+  double lte_mbps = 8.6;
+  std::string scheduler = "default";
+  // When set, used instead of `scheduler` (ablations with custom scheduler
+  // parameters, e.g. ECF's beta).
+  SchedulerFactory scheduler_override;
+  CcKind cc = CcKind::kLia;
+  // 0 = library default; otherwise overrides the per-subflow send-queue
+  // limit (staging ablation).
+  std::uint64_t staging_bytes = 0;
+  bool idle_cwnd_reset = true;   // Fig. 6 ablation switch
+  bool opportunistic_rtx = true;
+  bool penalization = true;
+  Duration video = Duration::seconds(180);
+  AbrKind abr = AbrKind::kBufferBased;
+  int subflows_per_path = 1;     // Fig. 15 uses 2
+  std::uint64_t seed = 1;
+  bool collect_traces = false;   // CWND + send-buffer time series
+  // Optional time-varying bandwidth (Section 5.3); offsets from t = 0.
+  std::vector<RateChange> wifi_trace;
+  std::vector<RateChange> lte_trace;
+  // Optional full path overrides (Section 6 wild profiles). When set, the
+  // *_mbps fields above are ignored for path construction but still label
+  // which path is "fast".
+  bool use_path_overrides = false;
+  PathConfig wifi_override;
+  PathConfig lte_override;
+};
+
+struct StreamingResult {
+  double mean_bitrate_mbps = 0.0;
+  double mean_throughput_mbps = 0.0;
+  // Fraction of original payload bytes sent on the faster path.
+  double fraction_fast = 0.0;
+  std::uint64_t iw_resets_wifi = 0;
+  std::uint64_t iw_resets_lte = 0;
+  std::uint64_t reinjections = 0;
+  Duration rebuffer_time = Duration::zero();
+  int chunks_fetched = 0;
+  Samples ooo_delay;        // seconds, per delivered packet
+  Samples last_packet_gap;  // seconds, per chunk using both paths
+  std::vector<ChunkRecord> chunks;
+  // Collected when collect_traces is set.
+  TimeSeries cwnd_wifi, cwnd_lte;
+  TimeSeries sndbuf_wifi, sndbuf_lte;
+  // Average measured RTT per path (paper Table 2).
+  double mean_rtt_wifi_ms = 0.0;
+  double mean_rtt_lte_ms = 0.0;
+};
+
+StreamingResult run_streaming(const StreamingParams& params);
+
+// Averages `runs` seeded repetitions of the scalar metrics (sample sets are
+// merged). Seeds are base_seed, base_seed+1, ...
+StreamingResult run_streaming_avg(StreamingParams params, int runs);
+
+}  // namespace mps

@@ -1,0 +1,58 @@
+// The controlled-lab testbed of paper Section 5.1: one WiFi path (primary)
+// and one LTE path between server and client, with `tc`-style bandwidth
+// regulation, shared by all connections of a scenario.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mptcp/connection.h"
+#include "net/mux.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mps {
+
+struct TestbedConfig {
+  PathConfig wifi = wifi_profile(Rate::mbps(8.6));
+  PathConfig lte = lte_profile(Rate::mbps(8.6));
+  // Subflows per interface (paper Section 5.2.5 uses 2 for four subflows).
+  int subflows_per_path = 1;
+  ConnectionConfig conn;  // template; conn_id is assigned per connection
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  Simulator& sim() { return sim_; }
+  Path& wifi() { return *wifi_; }
+  Path& lte() { return *lte_; }
+  Rng& rng() { return rng_; }
+
+  // Builds a connection over [wifi x subflows_per_path, lte x
+  // subflows_per_path] with WiFi primary, a fresh conn_id, and the given
+  // scheduler.
+  std::unique_ptr<Connection> make_connection(const SchedulerFactory& scheduler);
+
+  // One-way latency of a GET from client to server on the primary path.
+  Duration request_delay() const { return wifi_->rtt_base() / 2; }
+
+  // Runs the simulation until `deadline` or until the event queue drains.
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+ private:
+  TestbedConfig config_;
+  Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<Path> wifi_;
+  std::unique_ptr<Path> lte_;
+  Mux down_mux_;  // attached to both downlinks (client side)
+  Mux up_mux_;    // attached to both uplinks (server side)
+  std::uint32_t next_conn_id_ = 1;
+};
+
+}  // namespace mps

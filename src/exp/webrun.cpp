@@ -1,0 +1,47 @@
+#include "exp/webrun.h"
+
+#include "app/web.h"
+#include "exp/testbed.h"
+#include "sched/registry.h"
+
+namespace mps {
+
+WebRunResult run_web(const WebRunParams& params) {
+  WebRunResult res;
+  double page_load_sum = 0.0;
+
+  for (int r = 0; r < params.runs; ++r) {
+    TestbedConfig tb;
+    if (params.use_path_overrides) {
+      tb.wifi = params.wifi_override;
+      tb.lte = params.lte_override;
+    } else {
+      tb.wifi = wifi_profile(Rate::mbps(params.wifi_mbps));
+      tb.lte = lte_profile(Rate::mbps(params.lte_mbps));
+    }
+    tb.seed = params.seed + static_cast<std::uint64_t>(r);
+    tb.conn.cc = params.cc;
+
+    Testbed bed(tb);
+    WebPageConfig wc;
+    // The page content is fixed across runs and schedulers (same seed).
+    Rng page_rng(0xC0FFEE);
+    auto objects = make_page_objects(page_rng, wc);
+
+    const SchedulerFactory factory = scheduler_factory(params.scheduler);
+    WebBrowser browser(bed.sim(), wc, std::move(objects),
+                       [&bed, &factory] { return bed.make_connection(factory); });
+    browser.on_finished = [&bed] { bed.sim().request_stop(); };
+    browser.start();
+    bed.sim().run_until(TimePoint::origin() + Duration::seconds(3600));
+
+    res.object_times.merge(browser.object_times());
+    res.ooo_delay.merge(browser.ooo_delays());
+    res.iw_resets += browser.iw_resets();
+    page_load_sum += browser.page_load_time().to_seconds();
+  }
+  res.mean_page_load_s = page_load_sum / params.runs;
+  return res;
+}
+
+}  // namespace mps

@@ -1,0 +1,35 @@
+// Web-browsing experiment runner (paper Sections 5.5 and 6.3).
+#pragma once
+
+#include <string>
+
+#include "net/path.h"
+#include "tcp/cc.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mps {
+
+struct WebRunParams {
+  double wifi_mbps = 5.0;
+  double lte_mbps = 5.0;
+  std::string scheduler = "default";
+  CcKind cc = CcKind::kLia;
+  std::uint64_t seed = 1;
+  int runs = 2;
+  // Optional full path overrides (wild profiles).
+  bool use_path_overrides = false;
+  PathConfig wifi_override;
+  PathConfig lte_override;
+};
+
+struct WebRunResult {
+  Samples object_times;  // seconds, per object across all runs
+  Samples ooo_delay;     // seconds, per packet across all runs
+  double mean_page_load_s = 0.0;
+  std::uint64_t iw_resets = 0;
+};
+
+WebRunResult run_web(const WebRunParams& params);
+
+}  // namespace mps

@@ -1,0 +1,256 @@
+#include "mptcp/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace mps {
+
+Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path*> paths,
+                       std::unique_ptr<Scheduler> scheduler, Mux& down_mux, Mux& up_mux)
+    : sim_(sim),
+      config_(config),
+      scheduler_(std::move(scheduler)),
+      down_mux_(down_mux),
+      up_mux_(up_mux),
+      rwnd_(config.rcv_autotune ? config.rcv_initial_window : config.rcvbuf_bytes),
+      drs_window_(config.rcv_initial_window) {
+  assert(!paths.empty());
+  assert(scheduler_ != nullptr);
+
+  subflows_.reserve(paths.size());
+  receivers_.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    SubflowConfig sc;
+    sc.id = static_cast<std::uint32_t>(i);
+    sc.conn_id = config_.conn_id;
+    sc.mss = config_.mss;
+    sc.initial_cwnd = config_.initial_cwnd;
+    sc.idle_cwnd_reset = config_.idle_cwnd_reset;
+    sc.staging_limit_bytes = config_.subflow_staging_bytes;
+    if (i > 0 && config_.delayed_secondary_join) {
+      sc.join_delay = paths[i]->rtt_base();  // MP_JOIN handshake
+    }
+    subflows_.push_back(
+        std::make_unique<Subflow>(sim_, sc, *paths[i], make_cc(config_.cc), this));
+    subflow_ptrs_.push_back(subflows_.back().get());
+    receivers_.push_back(std::make_unique<SubflowReceiver>(
+        sim_, config_.conn_id, sc.id, *paths[i], this));
+  }
+
+  down_mux_.add_route(config_.conn_id, [this](Packet p) {
+    if (p.subflow_id < receivers_.size()) receivers_[p.subflow_id]->on_data_packet(p);
+  });
+  up_mux_.add_route(config_.conn_id, [this](Packet p) {
+    if (p.subflow_id < subflows_.size()) subflows_[p.subflow_id]->on_ack_packet(p);
+  });
+}
+
+Connection::~Connection() {
+  down_mux_.remove_route(config_.conn_id);
+  up_mux_.remove_route(config_.conn_id);
+}
+
+// ---------------------------------------------------------------------------
+// Sender side
+
+std::uint64_t Connection::sndbuf_used() const {
+  return send_queue_bytes_ + meta_inflight();
+}
+
+std::uint64_t Connection::sndbuf_free() const {
+  const std::uint64_t used = sndbuf_used();
+  return used >= config_.sndbuf_bytes ? 0 : config_.sndbuf_bytes - used;
+}
+
+std::uint64_t Connection::send(std::uint64_t len) {
+  const std::uint64_t accepted = std::min(len, sndbuf_free());
+  send_queue_bytes_ += accepted;
+  if (accepted > 0) try_send();
+  return accepted;
+}
+
+void Connection::try_send() {
+  if (in_try_send_) return;  // no re-entrant scheduling rounds
+  in_try_send_ = true;
+
+  for (Subflow* sf : subflow_ptrs_) sf->poll();
+
+  while (send_queue_bytes_ > 0) {
+    if (meta_inflight() >= rwnd_) {
+      ++meta_stats_.window_stalls;
+      try_opportunistic_retransmit();
+      break;
+    }
+    Subflow* sf = scheduler_->pick(*this);
+    if (sf == nullptr || !sf->can_accept()) break;
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.mss, send_queue_bytes_));
+    sf->assign_segment(next_data_seq_, payload);
+    if (scheduler_->duplicate_to_all()) {
+      // Redundant semantics: a copy committed to every other subflow with
+      // send-queue room, de-duplicated by the meta receiver.
+      for (Subflow* other : subflow_ptrs_) {
+        if (other == sf || !other->can_accept()) continue;
+        other->assign_segment(next_data_seq_, payload, /*reinjection=*/true);
+      }
+    }
+    next_data_seq_ += payload;
+    send_queue_bytes_ -= payload;
+    ++meta_stats_.segments_scheduled;
+  }
+
+  in_try_send_ = false;
+}
+
+void Connection::try_opportunistic_retransmit() {
+  if (!config_.opportunistic_retransmission) return;
+  // Find the subflow owning the lowest outstanding (un-data-acked) segment:
+  // that segment is what stalls the meta window.
+  Subflow* blocker = nullptr;
+  SegmentRef oldest{};
+  for (Subflow* sf : subflow_ptrs_) {
+    if (!sf->has_unacked()) continue;
+    const SegmentRef ref = sf->oldest_unacked();
+    if (blocker == nullptr || ref.data_seq < oldest.data_seq) {
+      blocker = sf;
+      oldest = ref;
+    }
+  }
+  if (blocker == nullptr) return;
+  if (oldest.data_seq == last_reinjected_seq_) return;  // once per segment
+
+  // Reinject on the fastest other subflow with free CWND.
+  Subflow* carrier = nullptr;
+  for (Subflow* sf : subflow_ptrs_) {
+    if (sf == blocker || !sf->can_send()) continue;
+    if (carrier == nullptr || sf->rtt_estimate() < carrier->rtt_estimate()) carrier = sf;
+  }
+  if (carrier == nullptr || carrier->rtt_estimate() >= blocker->rtt_estimate()) return;
+
+  carrier->send_segment(oldest.data_seq, oldest.payload, /*reinjection=*/true);
+  last_reinjected_seq_ = oldest.data_seq;
+  ++meta_stats_.reinjections;
+  if (config_.penalization) blocker->penalize();
+}
+
+void Connection::on_subflow_ack(Subflow&) { try_send(); }
+
+void Connection::on_data_ack(std::uint64_t data_ack) {
+  if (data_ack <= data_una_) return;
+  data_una_ = std::min(data_ack, next_data_seq_);
+  notify_sendable();
+}
+
+void Connection::on_rwnd_update(std::uint64_t rwnd) { rwnd_ = rwnd; }
+
+void Connection::notify_sendable() {
+  if (!on_sendable || sendable_post_pending_ || sndbuf_free() == 0) return;
+  sendable_post_pending_ = true;
+  sim_.post([this] {
+    sendable_post_pending_ = false;
+    if (on_sendable && sndbuf_free() > 0) on_sendable();
+  });
+}
+
+void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
+  out.reserve(subflows_.size());
+  for (const auto& sf : subflows_) {
+    CcSiblingInfo info;
+    info.subflow_id = sf->id();
+    info.cwnd = sf->cwnd();
+    info.srtt_s = sf->rtt_estimate().to_seconds();
+    info.established = sf->established();
+    info.inter_loss_bytes = sf->inter_loss_bytes();
+    out.push_back(info);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side
+
+std::uint64_t Connection::meta_rwnd() const {
+  // In-order data is consumed immediately by the application model, so only
+  // out-of-order held bytes occupy the receive buffer.
+  const std::uint64_t window =
+      config_.rcv_autotune ? std::min(drs_window_, config_.rcvbuf_bytes) : config_.rcvbuf_bytes;
+  return meta_ooo_bytes_ >= window ? 0 : window - meta_ooo_bytes_;
+}
+
+void Connection::on_wire_arrival(std::uint32_t subflow_id, std::uint64_t data_seq,
+                                 std::uint32_t payload, TimePoint arrival) {
+  if (on_wire_arrival_hook) on_wire_arrival_hook(subflow_id, data_seq, payload, arrival);
+}
+
+void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t data_seq,
+                                    std::uint32_t payload, TimePoint wire_arrival) {
+  const TimePoint now = sim_.now();
+  if (data_seq + payload <= rcv_data_next_) {
+    ++meta_stats_.duplicate_segments;  // reinjection or spurious retransmit
+    return;
+  }
+  if (data_seq > rcv_data_next_) {
+    // Hold out of order; duplicates of held segments are dropped.
+    auto [it, inserted] = meta_ooo_.try_emplace(data_seq, HeldSeg{payload, wire_arrival});
+    (void)it;
+    if (inserted) {
+      meta_ooo_bytes_ += payload;
+    } else {
+      ++meta_stats_.duplicate_segments;
+    }
+    return;
+  }
+
+  // In meta order (possibly overlapping the cumulative point after a partial
+  // duplicate; deliver only the new part).
+  const std::uint64_t new_bytes = data_seq + payload - rcv_data_next_;
+  rcv_data_next_ += new_bytes;
+  meta_stats_.delivered_bytes += new_bytes;
+  ooo_delay_.add((now - wire_arrival).to_seconds());
+  pending_deliver_bytes_ += new_bytes;
+
+  // Drain contiguous held segments.
+  auto it = meta_ooo_.begin();
+  while (it != meta_ooo_.end() && it->first <= rcv_data_next_) {
+    const std::uint64_t seg_end = it->first + it->second.payload;
+    if (seg_end > rcv_data_next_) {
+      const std::uint64_t drained = seg_end - rcv_data_next_;
+      rcv_data_next_ = seg_end;
+      meta_stats_.delivered_bytes += drained;
+      ooo_delay_.add((now - it->second.arrival).to_seconds());
+      pending_deliver_bytes_ += drained;
+    } else {
+      ++meta_stats_.duplicate_segments;
+    }
+    meta_ooo_bytes_ -= it->second.payload;
+    it = meta_ooo_.erase(it);
+  }
+
+  // Dynamic right-sizing: once a full window of in-order data has been
+  // consumed since the last adjustment, double the advertised window (the
+  // sender saturating the window implies it could use more).
+  if (config_.rcv_autotune && drs_window_ < config_.rcvbuf_bytes &&
+      meta_stats_.delivered_bytes - drs_mark_bytes_ >= drs_window_) {
+    drs_window_ = std::min(drs_window_ * 2, config_.rcvbuf_bytes);
+    drs_mark_bytes_ = meta_stats_.delivered_bytes;
+  }
+
+  flush_deliveries();
+}
+
+void Connection::flush_deliveries() {
+  if (pending_deliver_bytes_ == 0 || deliver_post_pending_) return;
+  deliver_post_pending_ = true;
+  pending_deliver_when_ = sim_.now();
+  // Deferred so application reactions (next GET, more send()) run outside
+  // the packet-processing call stack.
+  sim_.post([this] {
+    deliver_post_pending_ = false;
+    const std::uint64_t bytes = pending_deliver_bytes_;
+    pending_deliver_bytes_ = 0;
+    if (on_deliver && bytes > 0) on_deliver(bytes, pending_deliver_when_);
+  });
+}
+
+}  // namespace mps

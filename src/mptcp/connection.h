@@ -1,0 +1,181 @@
+// The MPTCP connection: meta-level sender and receiver.
+//
+// Server side (sender): a connection-level send buffer holds application
+// bytes; the scheduler maps them to subflows as whole segments; data
+// sequence numbers stitch the subflows back together. The meta send window
+// is bounded by the receiver's advertised window. When the window stalls on
+// a segment owned by a slow subflow, opportunistic retransmission reinjects
+// it on a faster subflow and penalization halves the blocker's CWND
+// (Raiciu et al., NSDI'12), both enabled by default as in the paper.
+//
+// Client side (receiver): per-subflow receivers enforce subflow-level order;
+// the meta receiver then reorders across subflows by data sequence number,
+// measuring the out-of-order delay every packet experiences (paper's
+// Figs. 13/14/21/23).
+//
+// Both endpoints live in one object because the simulation runs them in one
+// process; the public API is split into sender-side and receiver-side
+// sections below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/mux.h"
+#include "net/path.h"
+#include "mptcp/scheduler.h"
+#include "sim/simulator.h"
+#include "tcp/cc.h"
+#include "tcp/subflow.h"
+#include "util/stats.h"
+
+namespace mps {
+
+struct ConnectionConfig {
+  std::uint32_t conn_id = 1;
+  std::uint32_t mss = kDefaultMss;
+  // Connection-level send buffer (queued + in-flight-unacked bytes). The
+  // paper's Apache server pins SO_SNDBUF (~256 KB; cf. the ~200 KB ceiling
+  // in paper Fig. 3), which disables Linux autotuning.
+  std::uint64_t sndbuf_bytes = 256 << 10;
+  // Per-subflow send-queue limit (see SubflowConfig::staging_limit_bytes).
+  std::uint64_t subflow_staging_bytes = 64 << 10;
+  // Meta receive buffer backing the advertised window (tcp_rmem max).
+  std::uint64_t rcvbuf_bytes = 6 << 20;
+  CcKind cc = CcKind::kLia;
+  bool opportunistic_retransmission = true;
+  bool penalization = true;
+  bool idle_cwnd_reset = true;
+  double initial_cwnd = 10.0;
+  // Linux-style dynamic right-sizing of the advertised receive window: start
+  // small, double each time a full window's worth of in-order data is
+  // consumed, up to rcvbuf_bytes. Makes the meta send window bind early in a
+  // connection's life, as in the real stack.
+  bool rcv_autotune = true;
+  std::uint64_t rcv_initial_window = 256 * 1024;
+  // Secondary subflows join one handshake RTT after the connection opens.
+  bool delayed_secondary_join = true;
+};
+
+struct MetaStats {
+  std::uint64_t delivered_bytes = 0;       // in-order bytes handed to the app
+  std::uint64_t duplicate_segments = 0;    // dropped at meta level
+  std::uint64_t reinjections = 0;          // opportunistic retransmissions
+  std::uint64_t window_stalls = 0;         // scheduling blocked by meta rwnd
+  std::uint64_t segments_scheduled = 0;
+};
+
+class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
+ public:
+  // `paths` may contain duplicates (several subflows per interface, paper
+  // Section 5.2.5); index 0 is the primary subflow. `down_mux`/`up_mux`
+  // demultiplex the shared links; the connection registers itself for
+  // config.conn_id and unregisters on destruction.
+  Connection(Simulator& sim, ConnectionConfig config, std::vector<Path*> paths,
+             std::unique_ptr<Scheduler> scheduler, Mux& down_mux, Mux& up_mux);
+  ~Connection() override;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // --- sender-side application API -----------------------------------------
+  // Enqueues `len` bytes for transfer; returns the bytes accepted (limited
+  // by free send-buffer space). The remainder must be re-offered from
+  // on_sendable.
+  std::uint64_t send(std::uint64_t len);
+  std::uint64_t sndbuf_free() const;
+  std::uint64_t sndbuf_used() const;
+  // Bytes accepted but not yet handed to any subflow — ECF's k.
+  std::uint64_t unscheduled_bytes() const { return send_queue_bytes_; }
+  // Fires (deferred) when send-buffer space frees up.
+  std::function<void()> on_sendable;
+
+  // --- receiver-side application API ---------------------------------------
+  // In-order meta-level delivery of `bytes` at `when`.
+  std::function<void(std::uint64_t bytes, TimePoint when)> on_deliver;
+  // Raw per-packet wire arrivals (before reordering), for trace analyses.
+  std::function<void(std::uint32_t subflow_id, std::uint64_t data_seq,
+                     std::uint32_t payload, TimePoint when)>
+      on_wire_arrival_hook;
+
+  // --- scheduler-facing state ----------------------------------------------
+  Simulator& sim() { return sim_; }
+  const ConnectionConfig& config() const { return config_; }
+  std::vector<Subflow*>& subflows() { return subflow_ptrs_; }
+  std::uint32_t mss() const { return config_.mss; }
+  // Meta-level bytes in flight (scheduled, not yet data-acked).
+  std::uint64_t meta_inflight() const { return next_data_seq_ - data_una_; }
+  std::uint64_t send_window() const { return rwnd_; }
+
+  // --- diagnostics -----------------------------------------------------------
+  const MetaStats& meta_stats() const { return meta_stats_; }
+  // Out-of-order delay samples (seconds), one per delivered packet.
+  const Samples& ooo_delay() const { return ooo_delay_; }
+  Samples& mutable_ooo_delay() { return ooo_delay_; }
+  std::uint64_t delivered_bytes() const { return meta_stats_.delivered_bytes; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  // --- SubflowEnv ------------------------------------------------------------
+  void on_subflow_ack(Subflow& sf) override;
+  void on_data_ack(std::uint64_t data_ack) override;
+  void on_rwnd_update(std::uint64_t rwnd) override;
+  const CcGroup* cc_group() const override { return this; }
+
+  // --- CcGroup ---------------------------------------------------------------
+  void cc_sibling_info(std::vector<CcSiblingInfo>& out) const override;
+
+  // --- MetaSink ---------------------------------------------------------------
+  void on_subflow_deliver(std::uint32_t subflow_id, std::uint64_t data_seq,
+                          std::uint32_t payload, TimePoint wire_arrival) override;
+  void on_wire_arrival(std::uint32_t subflow_id, std::uint64_t data_seq,
+                       std::uint32_t payload, TimePoint arrival) override;
+  std::uint64_t meta_data_ack() const override { return rcv_data_next_; }
+  std::uint64_t meta_rwnd() const override;
+
+ private:
+  void try_send();
+  void try_opportunistic_retransmit();
+  void flush_deliveries();
+  void notify_sendable();
+
+  Simulator& sim_;
+  ConnectionConfig config_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Mux& down_mux_;
+  Mux& up_mux_;
+
+  std::vector<std::unique_ptr<Subflow>> subflows_;
+  std::vector<Subflow*> subflow_ptrs_;
+  std::vector<std::unique_ptr<SubflowReceiver>> receivers_;
+
+  // Sender state.
+  std::uint64_t send_queue_bytes_ = 0;  // accepted, not yet scheduled
+  std::uint64_t next_data_seq_ = 0;     // next byte to hand to a subflow
+  std::uint64_t data_una_ = 0;          // lowest un-data-acked byte
+  std::uint64_t rwnd_;                  // peer-advertised meta window
+  std::uint64_t last_reinjected_seq_ = UINT64_MAX;
+  bool sendable_post_pending_ = false;
+  bool in_try_send_ = false;
+
+  // Receiver state.
+  std::uint64_t rcv_data_next_ = 0;
+  std::uint64_t drs_window_ = 0;      // current auto-tuned window
+  std::uint64_t drs_mark_bytes_ = 0;  // delivered count at last resize
+  struct HeldSeg {
+    std::uint32_t payload;
+    TimePoint arrival;
+  };
+  std::map<std::uint64_t, HeldSeg> meta_ooo_;
+  std::uint64_t meta_ooo_bytes_ = 0;
+  std::uint64_t pending_deliver_bytes_ = 0;
+  TimePoint pending_deliver_when_;
+  bool deliver_post_pending_ = false;
+
+  MetaStats meta_stats_;
+  Samples ooo_delay_;
+};
+
+}  // namespace mps

@@ -1,0 +1,44 @@
+// The path-scheduler extension point.
+//
+// A Scheduler answers one question, exactly as in the Linux MPTCP
+// implementation: "which subflow should carry the next unscheduled
+// segment?" Returning nullptr means "no subflow right now" — either all
+// subflows are CWND-limited, or the scheduler deliberately waits for a
+// faster subflow to free up (the ECF/BLEST behaviour).
+//
+// The paper's contribution (ECF) lives in src/core; baseline schedulers in
+// src/sched. Connection calls pick() in a loop until it returns nullptr or
+// the send queue / meta window is exhausted.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace mps {
+
+class Connection;
+class Subflow;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Chooses the subflow for the next segment, or nullptr to wait. A non-null
+  // result must satisfy Subflow::can_send().
+  virtual Subflow* pick(Connection& conn) = 0;
+
+  virtual const char* name() const = 0;
+
+  // When true, the connection transmits a copy of every scheduled segment
+  // on each other subflow with free window space (mptcp.org `redundant`
+  // semantics); the meta receiver de-duplicates.
+  virtual bool duplicate_to_all() const { return false; }
+
+  // Clears per-connection state (a fresh connection reuses the object).
+  virtual void reset() {}
+};
+
+// Factory so scenario code can instantiate one scheduler per connection.
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+}  // namespace mps

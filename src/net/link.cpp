@@ -1,0 +1,68 @@
+#include "net/link.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/log.h"
+
+namespace mps {
+
+Link::Link(Simulator& sim, LinkConfig config, std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)), tx_timer_(sim) {}
+
+void Link::send(Packet pkt) {
+  ++stats_.packets_in;
+  if (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate)) {
+    ++stats_.drops_random;
+    return;
+  }
+  if (busy_) {
+    if (queue_.size() >= config_.queue_packets) {
+      ++stats_.drops_queue;
+      MPS_DEBUG("%s: drop (queue full, depth=%zu)", name_.c_str(), queue_.size());
+      return;
+    }
+    queue_.push_back(pkt);
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    return;
+  }
+  in_service_ = pkt;
+  busy_ = true;
+  start_transmission();
+}
+
+void Link::start_transmission() {
+  const Duration tx = config_.rate.transmit_time(in_service_.wire_size());
+  if (tx.is_infinite()) {
+    // A zero-rate link parks the packet until the rate is raised again; we
+    // model this by polling on a coarse timer so rate changes do not need to
+    // know about parked packets.
+    tx_timer_.schedule_after(Duration::millis(100), [this] { start_transmission(); });
+    return;
+  }
+  tx_timer_.schedule_after(tx, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  assert(busy_);
+  Packet delivered = in_service_;
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += delivered.wire_size();
+
+  if (!queue_.empty()) {
+    in_service_ = queue_.front();
+    queue_.pop_front();
+    start_transmission();
+  } else {
+    busy_ = false;
+  }
+
+  // Propagation: schedule the arrival at the far end. Delivery order is
+  // preserved because prop_delay changes are rare and monotone arrivals are
+  // guaranteed for a constant delay.
+  sim_.after(config_.prop_delay, [this, delivered]() mutable {
+    if (deliver_) deliver_(delivered);
+  });
+}
+
+}  // namespace mps

@@ -1,0 +1,89 @@
+// A unidirectional bottleneck link: fixed serialization rate, one-way
+// propagation delay, drop-tail FIFO queue, optional random loss.
+//
+// This models the `tc` token-bucket regulation used in the paper's testbed:
+// the regulated rate dominates, and queueing at the regulator produces the
+// large RTTs of paper Table 2. Rate changes take effect for the next
+// serialization (in-flight transmissions complete at the old rate), which is
+// exact enough at the tens-of-seconds change intervals used in Section 5.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rate.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mps {
+
+struct LinkConfig {
+  Rate rate = Rate::mbps(10);
+  Duration prop_delay = Duration::millis(5);
+  std::size_t queue_packets = 40;  // drop-tail capacity; reproduces paper Table 2 loaded RTTs
+  double loss_rate = 0.0;          // iid random loss probability
+};
+
+struct LinkStats {
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t drops_queue = 0;
+  std::uint64_t drops_random = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Link(Simulator& sim, LinkConfig config, std::string name = "link");
+
+  // The receiving endpoint. Must be set before the first send().
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  // Random loss draws come from this stream; a link with loss_rate == 0
+  // never touches it, so loss-free runs are RNG-schedule independent.
+  void set_rng(Rng rng) { rng_ = rng; }
+
+  // Offers a packet to the link. May drop (queue overflow or random loss).
+  void send(Packet pkt);
+
+  void set_rate(Rate rate) { config_.rate = rate; }
+  Rate rate() const { return config_.rate; }
+  void set_prop_delay(Duration d) { config_.prop_delay = d; }
+  Duration prop_delay() const { return config_.prop_delay; }
+  void set_loss_rate(double p) { config_.loss_rate = p; }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  // Current one-packet serialization time (diagnostics).
+  Duration serialization_time(std::uint32_t bytes) const {
+    return config_.rate.transmit_time(bytes);
+  }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  Simulator& sim_;
+  LinkConfig config_;
+  std::string name_;
+  DeliverFn deliver_;
+  Rng rng_{0xabcdef12345678ULL};
+
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  Packet in_service_;
+  Timer tx_timer_;
+  LinkStats stats_;
+};
+
+}  // namespace mps

@@ -1,0 +1,49 @@
+// Connection demultiplexer for a link direction.
+//
+// Web-browsing scenarios run several MPTCP connections over the same pair of
+// physical paths; the Mux dispatches delivered packets to the endpoint that
+// registered the packet's conn_id. Unroutable packets (e.g. arriving after a
+// connection closed) are counted and dropped, mirroring a RST-less teardown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace mps {
+
+class Mux {
+ public:
+  using Handler = std::function<void(Packet)>;
+
+  // Installs this mux as the link's deliver function.
+  void attach_to(Link& link) {
+    link.set_deliver([this](Packet p) { dispatch(std::move(p)); });
+  }
+
+  void add_route(std::uint32_t conn_id, Handler handler) {
+    routes_[conn_id] = std::move(handler);
+  }
+
+  void remove_route(std::uint32_t conn_id) { routes_.erase(conn_id); }
+
+  void dispatch(Packet p) {
+    const auto it = routes_.find(p.conn_id);
+    if (it == routes_.end()) {
+      ++orphans_;
+      return;
+    }
+    it->second(std::move(p));
+  }
+
+  std::uint64_t orphan_count() const { return orphans_; }
+
+ private:
+  std::unordered_map<std::uint32_t, Handler> routes_;
+  std::uint64_t orphans_ = 0;
+};
+
+}  // namespace mps

@@ -1,0 +1,53 @@
+#include "net/path.h"
+
+namespace mps {
+
+namespace {
+
+LinkConfig down_link_config(const PathConfig& p) {
+  LinkConfig c;
+  c.rate = p.down_rate;
+  c.prop_delay = p.rtt_base / 2;
+  c.queue_packets = p.queue_packets;
+  c.loss_rate = p.loss_rate;
+  return c;
+}
+
+LinkConfig up_link_config(const PathConfig& p) {
+  LinkConfig c;
+  c.rate = p.up_rate;
+  c.prop_delay = p.rtt_base / 2;
+  // ACKs are tiny; a deep queue avoids spurious ACK loss on the unregulated
+  // direction.
+  c.queue_packets = 1000;
+  c.loss_rate = 0.0;
+  return c;
+}
+
+}  // namespace
+
+PathConfig wifi_profile(Rate down_rate) {
+  PathConfig c;
+  c.name = "wifi";
+  c.down_rate = down_rate;
+  // Campus WiFi: low propagation delay; loaded RTT is dominated by queueing
+  // at the regulated rate (paper Table 2: 40 ms at 8.6 Mbps).
+  c.rtt_base = Duration::millis(16);
+  return c;
+}
+
+PathConfig lte_profile(Rate down_rate) {
+  PathConfig c;
+  c.name = "lte";
+  c.down_rate = down_rate;
+  // Cellular cores add tens of ms (paper Table 2: 105 ms at 8.6 Mbps).
+  c.rtt_base = Duration::millis(80);
+  return c;
+}
+
+Path::Path(Simulator& sim, PathConfig config)
+    : config_(config),
+      down_(sim, down_link_config(config), config.name + ".down"),
+      up_(sim, up_link_config(config), config.name + ".up") {}
+
+}  // namespace mps

@@ -1,0 +1,41 @@
+#include "net/varbw.h"
+
+#include <utility>
+
+namespace mps {
+
+BandwidthSchedule::BandwidthSchedule(Simulator& sim, Path& path,
+                                     std::vector<RateChange> changes)
+    : sim_(sim), path_(path), changes_(std::move(changes)), timer_(sim) {}
+
+void BandwidthSchedule::start() {
+  start_time_ = sim_.now();
+  next_ = 0;
+  apply_next();
+}
+
+void BandwidthSchedule::apply_next() {
+  if (next_ >= changes_.size()) return;
+  const RateChange& change = changes_[next_];
+  timer_.schedule_at(start_time_ + change.at, [this] {
+    path_.set_down_rate(changes_[next_].rate);
+    ++next_;
+    apply_next();
+  });
+}
+
+std::vector<RateChange> make_random_bandwidth_trace(Rng& rng,
+                                                    const std::vector<Rate>& levels,
+                                                    Duration mean_interval,
+                                                    Duration total_duration) {
+  std::vector<RateChange> out;
+  Duration t = Duration::zero();
+  while (t < total_duration) {
+    const Rate rate = levels[rng.uniform_int(levels.size())];
+    out.push_back({t, rate});
+    t += Duration::from_seconds(rng.exponential(mean_interval.to_seconds()));
+  }
+  return out;
+}
+
+}  // namespace mps

@@ -1,0 +1,51 @@
+// Time-varying bandwidth drivers.
+//
+// BandwidthSchedule replays an explicit (time, rate) schedule onto a path's
+// downlink. RandomBandwidthProcess generates the Section 5.3 workload:
+// rates drawn uniformly from a set, held for exponentially distributed
+// intervals. The full schedule is pre-generated from a seed so that every
+// scheduler sees the identical bandwidth trace for a given scenario.
+#pragma once
+
+#include <vector>
+
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mps {
+
+struct RateChange {
+  Duration at;  // offset from schedule start
+  Rate rate;
+};
+
+// Pre-generated schedule of rate changes applied to one path.
+class BandwidthSchedule {
+ public:
+  BandwidthSchedule(Simulator& sim, Path& path, std::vector<RateChange> changes);
+
+  // Begins applying the schedule, offsets measured from now().
+  void start();
+
+  const std::vector<RateChange>& changes() const { return changes_; }
+
+ private:
+  void apply_next();
+
+  Simulator& sim_;
+  Path& path_;
+  std::vector<RateChange> changes_;
+  std::size_t next_ = 0;
+  Timer timer_;
+  TimePoint start_time_;
+};
+
+// Generates the paper's Section 5.3 random bandwidth trace: values chosen
+// uniformly at random from `levels`, change intervals ~ Exp(mean_interval).
+std::vector<RateChange> make_random_bandwidth_trace(Rng& rng,
+                                                    const std::vector<Rate>& levels,
+                                                    Duration mean_interval,
+                                                    Duration total_duration);
+
+}  // namespace mps

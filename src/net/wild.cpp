@@ -1,0 +1,58 @@
+#include "net/wild.h"
+
+namespace mps {
+
+std::vector<WildRunProfile> wild_streaming_runs() {
+  // WiFi average RTTs read off paper Fig. 22(a): runs sorted ascending,
+  // first two comparable to LTE (~70 ms), then increasingly heterogeneous.
+  static constexpr int kWifiRttMs[9] = {55, 75, 140, 230, 330, 450, 560, 700, 950};
+  // Public-town WiFi: modest and degrading bandwidth as congestion (and our
+  // RTT proxy for it) grows; LTE steady around 8-9 Mbps, matching the ~7.3 to
+  // 7.7 Mbps LTE subflow throughputs reported in Section 6.2.
+  static constexpr double kWifiMbps[9] = {6.0, 5.0, 4.0, 3.0, 2.5, 2.0, 1.5, 1.2, 0.8};
+
+  std::vector<WildRunProfile> runs;
+  runs.reserve(9);
+  for (int i = 0; i < 9; ++i) {
+    WildRunProfile p;
+    p.run_index = i + 1;
+    p.wifi = wifi_profile(Rate::mbps(kWifiMbps[i]));
+    p.wifi.rtt_base = Duration::millis(kWifiRttMs[i]);
+    p.wifi.loss_rate = 0.003;  // residual wireless loss
+    p.lte = lte_profile(Rate::mbps(9.0));
+    p.lte.rtt_base = Duration::millis(70);
+    p.lte.loss_rate = 0.001;
+    runs.push_back(p);
+  }
+  return runs;
+}
+
+WildRunProfile wild_web_profile() {
+  // Section 6.3: WDC cloud server, public WiFi (slow, high RTT) + AT&T LTE.
+  WildRunProfile p;
+  p.run_index = 0;
+  p.wifi = wifi_profile(Rate::mbps(2.0));
+  p.wifi.rtt_base = Duration::millis(320);
+  p.wifi.loss_rate = 0.003;
+  p.lte = lte_profile(Rate::mbps(9.0));
+  p.lte.rtt_base = Duration::millis(70);
+  p.lte.loss_rate = 0.001;
+  p.rate_jitter_frac = 0.3;
+  return p;
+}
+
+std::vector<RateChange> make_wild_jitter_trace(Rng& rng, Rate nominal,
+                                               double jitter_frac,
+                                               Duration mean_interval,
+                                               Duration total_duration) {
+  std::vector<RateChange> out;
+  Duration t = Duration::zero();
+  while (t < total_duration) {
+    const double factor = rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+    out.push_back({t, nominal * factor});
+    t += Duration::from_seconds(rng.exponential(mean_interval.to_seconds()));
+  }
+  return out;
+}
+
+}  // namespace mps

@@ -1,0 +1,43 @@
+// "In the wild" network profiles (paper Section 6).
+//
+// The paper runs nine streaming sessions over a public-town WiFi AP and AT&T
+// LTE across two days. Its Fig. 22(a) shows LTE RTT roughly constant
+// (~70 ms) while WiFi RTT sweeps from ~40 ms to ~950 ms across runs. We
+// reproduce that heterogeneity sweep as nine deterministic profiles: each
+// sets base RTTs, nominal bandwidths, residual loss, and mild stochastic
+// rate jitter (unregulated real networks fluctuate). The WDC web-browsing
+// profile matches the Section 6.3 setup.
+#pragma once
+
+#include <vector>
+
+#include "net/path.h"
+#include "net/varbw.h"
+#include "util/rng.h"
+
+namespace mps {
+
+struct WildRunProfile {
+  int run_index = 0;            // 1-based, sorted by WiFi RTT as in Fig. 22
+  PathConfig wifi;
+  PathConfig lte;
+  // Jitter applied as a random bandwidth trace around the nominal rate.
+  double rate_jitter_frac = 0.2;
+  Duration jitter_interval = Duration::seconds(5);
+};
+
+// The nine streaming runs of Section 6.2 (Fig. 22). WiFi RTT ascends
+// ~45 ms .. ~950 ms; LTE stays ~70 ms.
+std::vector<WildRunProfile> wild_streaming_runs();
+
+// The Section 6.3 web-browsing environment (WDC server, public WiFi + LTE).
+WildRunProfile wild_web_profile();
+
+// Builds a jitter trace for a path: nominal rate multiplied by a factor in
+// [1 - jitter, 1 + jitter], re-drawn every `interval` (exponential).
+std::vector<RateChange> make_wild_jitter_trace(Rng& rng, Rate nominal,
+                                               double jitter_frac,
+                                               Duration mean_interval,
+                                               Duration total_duration);
+
+}  // namespace mps

@@ -1,0 +1,53 @@
+#include "sched/blest.h"
+
+#include <algorithm>
+
+namespace mps {
+
+bool blest_would_block(double lambda, double cwnd_f, double rtt_f_s, double rtt_s_s,
+                       double mss, double window_bytes, double meta_inflight_bytes,
+                       double slow_inflight_bytes) {
+  rtt_f_s = std::max(rtt_f_s, 1e-6);
+  rtt_s_s = std::max(rtt_s_s, rtt_f_s);
+  const double rounds = rtt_s_s / rtt_f_s;
+  // Bytes the fast subflow could send while a slow-path segment is in
+  // flight, assuming +1 segment growth per round.
+  const double sent_f = rounds * (cwnd_f + (rounds - 1.0) / 2.0) * mss;
+  const double space = window_bytes - meta_inflight_bytes;
+  const double space_after = space - (slow_inflight_bytes + mss);
+  return lambda * sent_f > space_after;
+}
+
+Subflow* BlestScheduler::pick(Connection& conn) {
+  Subflow* xf = fastest_established(conn);
+  if (xf == nullptr) return nullptr;
+  if (xf->can_accept()) return xf;
+
+  Subflow* xs = fastest_available(conn, xf);
+  if (xs == nullptr) return nullptr;
+
+  // lambda adaptation: if the meta window stalled since the last decision,
+  // our estimate was too permissive — grow lambda; otherwise decay it.
+  const std::uint64_t stalls = conn.meta_stats().window_stalls;
+  if (stalls > last_stalls_) {
+    lambda_ = std::min(lambda_ * (1.0 + config_.lambda_step), config_.lambda_max);
+  } else {
+    lambda_ = std::max(lambda_ / (1.0 + config_.lambda_step / 8.0), config_.lambda_min);
+  }
+  last_stalls_ = stalls;
+
+  // BLEST's |W| is the MPTCP connection-level send window, i.e. the peer's
+  // advertised (auto-tuned) receive window — not the local send buffer.
+  const double window = static_cast<double>(conn.send_window());
+  const double mss = static_cast<double>(conn.mss());
+
+  if (blest_would_block(lambda_, xf->cwnd(), xf->rtt_estimate().to_seconds(),
+                        xs->rtt_estimate().to_seconds(), mss, window,
+                        static_cast<double>(conn.meta_inflight()),
+                        static_cast<double>(xs->inflight_segments()) * mss)) {
+    return nullptr;  // wait for the fast subflow
+  }
+  return xs;
+}
+
+}  // namespace mps

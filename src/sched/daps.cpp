@@ -1,0 +1,72 @@
+#include "sched/daps.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps {
+
+namespace {
+constexpr std::size_t kMaxPlanSlots = 512;
+}
+
+void DapsScheduler::rebuild_plan(Connection& conn) {
+  plan_.clear();
+  pos_ = 0;
+
+  struct Slot {
+    double departure;  // expected departure offset within the period
+    std::uint32_t subflow_id;
+  };
+  std::vector<Slot> slots;
+
+  double rtt_max = 0.0;
+  for (Subflow* sf : conn.subflows()) {
+    if (!sf->established()) continue;
+    rtt_max = std::max(rtt_max, sf->rtt_estimate().to_seconds());
+  }
+  if (rtt_max <= 0.0) return;
+
+  for (Subflow* sf : conn.subflows()) {
+    if (!sf->established()) continue;
+    const double rtt = std::max(sf->rtt_estimate().to_seconds(), 1e-6);
+    const double cwnd = std::max(sf->cwnd(), 1.0);
+    // Slots this subflow can serve during one period of rtt_max.
+    const std::size_t n = static_cast<std::size_t>(
+        std::min(std::round(cwnd * rtt_max / rtt), 256.0));
+    const double spacing = rtt / cwnd;  // one segment per cwnd share of RTT
+    for (std::size_t j = 0; j < std::max<std::size_t>(n, 1); ++j) {
+      slots.push_back({static_cast<double>(j) * spacing, sf->id()});
+      if (slots.size() >= kMaxPlanSlots) break;
+    }
+    if (slots.size() >= kMaxPlanSlots) break;
+  }
+
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) { return a.departure < b.departure; });
+  plan_.reserve(slots.size());
+  for (const Slot& s : slots) plan_.push_back(s.subflow_id);
+}
+
+Subflow* DapsScheduler::pick(Connection& conn) {
+  if (pos_ >= plan_.size()) rebuild_plan(conn);
+  if (plan_.empty()) return fastest_available(conn);
+
+  auto& subflows = conn.subflows();
+  while (pos_ < plan_.size()) {
+    const std::uint32_t id = plan_[pos_];
+    Subflow* sf = id < subflows.size() ? subflows[id] : nullptr;
+    if (sf == nullptr || !sf->established()) {
+      ++pos_;  // subflow vanished; skip its slots
+      continue;
+    }
+    if (sf->can_accept()) {
+      ++pos_;
+      return sf;
+    }
+    // Strict plan adherence: wait for the planned subflow's CWND space.
+    return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace mps

@@ -1,0 +1,44 @@
+// DAPS — Delay-Aware Packet Scheduling (Kuhn, Lochin, Mifdaoui, Sarwar,
+// Mehani, Boreli, IEEE ICC 2014).
+//
+// DAPS pre-computes a transmission schedule from the subflows' RTT ratio
+// and CWNDs: over one period (the largest RTT), subflow i is planned
+// cwnd_i * rtt_max / rtt_i segment slots, interleaved by expected departure
+// time — traffic "inversely proportional to RTT" in the ECF paper's words.
+// The plan is then followed strictly: if the planned subflow is momentarily
+// CWND-limited, DAPS waits for it rather than substituting another path.
+//
+// Both properties the ECF paper criticizes follow from this design: the
+// schedule keeps feeding the slow subflow its proportional share no matter
+// how little data remains in the send buffer, and a stale RTT estimate
+// locks in a bad plan until the period rolls over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler_util.h"
+#include "mptcp/scheduler.h"
+
+namespace mps {
+
+class DapsScheduler final : public Scheduler {
+ public:
+  Subflow* pick(Connection& conn) override;
+  const char* name() const override { return "daps"; }
+  void reset() override {
+    plan_.clear();
+    pos_ = 0;
+  }
+
+  // Exposed for tests: remaining planned slots.
+  std::size_t plan_remaining() const { return plan_.size() - pos_; }
+
+ private:
+  void rebuild_plan(Connection& conn);
+
+  std::vector<std::uint32_t> plan_;  // subflow ids in planned departure order
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mps

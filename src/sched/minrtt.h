@@ -1,0 +1,16 @@
+// The default MPTCP path scheduler: among subflows with free CWND space,
+// pick the one with the smallest RTT estimate (mptcp.org `default`).
+#pragma once
+
+#include "core/scheduler_util.h"
+#include "mptcp/scheduler.h"
+
+namespace mps {
+
+class MinRttScheduler final : public Scheduler {
+ public:
+  Subflow* pick(Connection& conn) override { return fastest_available(conn); }
+  const char* name() const override { return "default"; }
+};
+
+}  // namespace mps

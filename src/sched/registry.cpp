@@ -1,0 +1,45 @@
+#include "sched/registry.h"
+
+#include <stdexcept>
+
+#include "core/ecf.h"
+#include "sched/blest.h"
+#include "sched/daps.h"
+#include "sched/minrtt.h"
+#include "sched/redundant.h"
+#include "sched/roundrobin.h"
+#include "sched/singlepath.h"
+
+namespace mps {
+
+SchedulerFactory scheduler_factory(const std::string& name) {
+  if (name == "default" || name == "minrtt") {
+    return [] { return std::make_unique<MinRttScheduler>(); };
+  }
+  if (name == "ecf") {
+    return [] { return std::make_unique<EcfScheduler>(); };
+  }
+  if (name == "blest") {
+    return [] { return std::make_unique<BlestScheduler>(); };
+  }
+  if (name == "daps") {
+    return [] { return std::make_unique<DapsScheduler>(); };
+  }
+  if (name == "rr") {
+    return [] { return std::make_unique<RoundRobinScheduler>(); };
+  }
+  if (name == "single") {
+    return [] { return std::make_unique<SinglePathScheduler>(0); };
+  }
+  if (name == "redundant") {
+    return [] { return std::make_unique<RedundantScheduler>(); };
+  }
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+const std::vector<std::string>& paper_schedulers() {
+  static const std::vector<std::string> kNames = {"default", "ecf", "daps", "blest"};
+  return kNames;
+}
+
+}  // namespace mps

@@ -1,0 +1,19 @@
+// Name-based scheduler factory used by benches, tests, and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mptcp/scheduler.h"
+
+namespace mps {
+
+// Known names: "default" (min-RTT), "ecf", "blest", "daps", "rr", "single",
+// "redundant".
+// Throws std::invalid_argument for unknown names.
+SchedulerFactory scheduler_factory(const std::string& name);
+
+// The four schedulers the paper compares (Section 5 ordering).
+const std::vector<std::string>& paper_schedulers();
+
+}  // namespace mps

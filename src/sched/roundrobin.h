@@ -1,0 +1,32 @@
+// Round-robin scheduler (mptcp.org `rr`): cycles through available subflows
+// regardless of RTT. Included as an extra baseline and for tests.
+#pragma once
+
+#include "mptcp/scheduler.h"
+#include "mptcp/connection.h"
+#include "tcp/subflow.h"
+
+namespace mps {
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  Subflow* pick(Connection& conn) override {
+    auto& subflows = conn.subflows();
+    const std::size_t n = subflows.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      Subflow* sf = subflows[(next_ + i) % n];
+      if (sf->can_accept()) {
+        next_ = (sf->id() + 1) % n;
+        return sf;
+      }
+    }
+    return nullptr;
+  }
+  const char* name() const override { return "rr"; }
+  void reset() override { next_ = 0; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+}  // namespace mps

@@ -1,0 +1,27 @@
+// Pins all traffic to one subflow; the single-path TCP baseline ("WiFi only"
+// / "LTE only") used in examples and sanity tests.
+#pragma once
+
+#include "mptcp/scheduler.h"
+#include "mptcp/connection.h"
+#include "tcp/subflow.h"
+
+namespace mps {
+
+class SinglePathScheduler final : public Scheduler {
+ public:
+  explicit SinglePathScheduler(std::uint32_t subflow_id = 0) : subflow_id_(subflow_id) {}
+
+  Subflow* pick(Connection& conn) override {
+    for (Subflow* sf : conn.subflows()) {
+      if (sf->id() == subflow_id_) return sf->can_accept() ? sf : nullptr;
+    }
+    return nullptr;
+  }
+  const char* name() const override { return "single"; }
+
+ private:
+  std::uint32_t subflow_id_;
+};
+
+}  // namespace mps

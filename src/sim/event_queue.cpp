@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mps {
+
+EventId EventQueue::schedule(TimePoint when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  pending_.erase(id);
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+TimePoint EventQueue::next_time() {
+  drop_dead_top();
+  return heap_.empty() ? TimePoint::never() : heap_.front().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Fired{e.when, std::move(e.fn)};
+}
+
+}  // namespace mps

@@ -1,0 +1,68 @@
+// Discrete-event engine primitives: the pending-event queue.
+//
+// Events scheduled at the same timestamp fire in scheduling order (FIFO),
+// which keeps runs deterministic regardless of heap internals. Cancellation
+// is lazy: cancelled entries stay in the heap and are skipped on pop, but a
+// pending-id set keeps size()/empty() exact at all times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mps {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `when`. Returns an id usable with
+  // cancel(). Owners must cancel events capturing them before destruction
+  // (see Timer for the RAII wrapper).
+  EventId schedule(TimePoint when, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  // Time of the earliest live event; TimePoint::never() when empty.
+  TimePoint next_time();
+
+  struct Fired {
+    TimePoint when;
+    std::function<void()> fn;
+  };
+  // Pops and returns the earliest live event. Precondition: !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Removes heap entries whose id is no longer pending (cancelled).
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace mps

@@ -1,0 +1,107 @@
+// The simulation kernel: a clock plus the event loop.
+//
+// Usage:
+//   Simulator sim;
+//   sim.at(Duration::millis(5), [] { ... });
+//   sim.run_until(TimePoint::origin() + Duration::seconds(60));
+//
+// All model objects hold a Simulator& and schedule their activity through
+// it. The simulator is strictly single-threaded; determinism follows from
+// the FIFO tie-break in EventQueue plus seeded RNGs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace mps {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedule at an absolute time (must be >= now()).
+  EventId at(TimePoint when, std::function<void()> fn);
+  // Schedule after a delay from now.
+  EventId after(Duration delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+  // Schedule to run at the current time, after already-queued same-time
+  // events (useful to break call-stack re-entrancy).
+  EventId post(std::function<void()> fn) { return at(now_, std::move(fn)); }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs until the queue drains or the clock would pass `deadline`.
+  // Events exactly at `deadline` are executed. Returns the number of events
+  // processed.
+  std::uint64_t run_until(TimePoint deadline);
+
+  // Runs until the queue drains entirely.
+  std::uint64_t run() { return run_until(TimePoint::never()); }
+
+  // Executes at most one event. Returns false if none are pending.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  // Requests run loops to stop after the current event; used by scenario
+  // drivers that detect their stop condition from inside a callback.
+  void request_stop() { stop_requested_ = true; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+// RAII one-shot timer. Owns at most one pending event; rescheduling or
+// destroying the timer cancels the previous event, so callbacks can never
+// fire into a destroyed owner.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(sim) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void schedule_at(TimePoint when, std::function<void()> fn) {
+    cancel();
+    deadline_ = when;
+    id_ = sim_.at(when, [this, fn = std::move(fn)] {
+      id_ = kInvalidEventId;
+      deadline_ = TimePoint::never();
+      fn();
+    });
+  }
+
+  void schedule_after(Duration delay, std::function<void()> fn) {
+    schedule_at(sim_.now() + delay, std::move(fn));
+  }
+
+  void cancel() {
+    if (id_ != kInvalidEventId) {
+      sim_.cancel(id_);
+      id_ = kInvalidEventId;
+      deadline_ = TimePoint::never();
+    }
+  }
+
+  bool pending() const { return id_ != kInvalidEventId; }
+  TimePoint deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  EventId id_ = kInvalidEventId;
+  TimePoint deadline_ = TimePoint::never();
+};
+
+}  // namespace mps

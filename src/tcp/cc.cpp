@@ -1,0 +1,30 @@
+#include "tcp/cc.h"
+
+#include "tcp/cc_cubic.h"
+#include "tcp/cc_lia.h"
+#include "tcp/cc_olia.h"
+#include "tcp/cc_reno.h"
+
+namespace mps {
+
+const char* cc_kind_name(CcKind kind) {
+  switch (kind) {
+    case CcKind::kReno: return "reno";
+    case CcKind::kCubic: return "cubic";
+    case CcKind::kLia: return "lia";
+    case CcKind::kOlia: return "olia";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionController> make_cc(CcKind kind) {
+  switch (kind) {
+    case CcKind::kReno: return std::make_unique<RenoCc>();
+    case CcKind::kCubic: return std::make_unique<CubicCc>();
+    case CcKind::kLia: return std::make_unique<LiaCc>();
+    case CcKind::kOlia: return std::make_unique<OliaCc>();
+  }
+  return nullptr;
+}
+
+}  // namespace mps

@@ -1,0 +1,74 @@
+// Congestion controller interface.
+//
+// The Subflow owns the generic state machine (slow start, fast recovery,
+// RTO, idle CWND reset); controllers plug in the congestion-avoidance
+// increase rule and the multiplicative-decrease factor. Coupled controllers
+// (LIA, OLIA) additionally read their sibling subflows' state through the
+// CcGroup interface, which mptcp::Connection implements — this is the
+// coupling the paper identifies as the amplifier of idle CWND resets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mps {
+
+// Snapshot of one subflow's congestion state, as seen by a coupled
+// controller.
+struct CcSiblingInfo {
+  std::uint32_t subflow_id = 0;
+  double cwnd = 0.0;    // segments
+  double srtt_s = 0.0;  // seconds
+  bool established = false;
+  // Bytes acked since the most recent loss event on that subflow (OLIA's
+  // l_r estimate).
+  double inter_loss_bytes = 0.0;
+};
+
+// Implemented by mptcp::Connection; exposes all subflows of the connection.
+class CcGroup {
+ public:
+  virtual ~CcGroup() = default;
+  virtual void cc_sibling_info(std::vector<CcSiblingInfo>& out) const = 0;
+};
+
+class CongestionController {
+ public:
+  struct AckContext {
+    std::uint32_t self_id = 0;
+    double cwnd = 0.0;       // segments, before the increase
+    double ssthresh = 0.0;   // segments
+    double srtt_s = 0.0;     // seconds
+    double inter_loss_bytes = 0.0;
+    const CcGroup* group = nullptr;  // nullptr for single-path use
+    TimePoint now;
+  };
+
+  virtual ~CongestionController() = default;
+
+  // Additive increase (in segments) to apply for one newly acked full-size
+  // segment during congestion avoidance. Slow start is handled uniformly by
+  // the Subflow.
+  virtual double ca_increase(const AckContext& ctx) = 0;
+
+  // Multiplicative decrease on a fast-retransmit loss event:
+  // ssthresh = cwnd * loss_factor().
+  virtual double loss_factor() const { return 0.5; }
+
+  // Hooks for controllers with epoch state (CUBIC).
+  virtual void on_loss_event(const AckContext& /*ctx*/) {}
+  virtual void on_rto(const AckContext& /*ctx*/) {}
+  virtual void reset() {}
+
+  virtual const char* name() const = 0;
+};
+
+enum class CcKind { kReno, kCubic, kLia, kOlia };
+
+const char* cc_kind_name(CcKind kind);
+std::unique_ptr<CongestionController> make_cc(CcKind kind);
+
+}  // namespace mps

@@ -1,0 +1,16 @@
+// NewReno congestion avoidance: +1 segment per RTT (1/cwnd per ack).
+#pragma once
+
+#include "tcp/cc.h"
+
+namespace mps {
+
+class RenoCc final : public CongestionController {
+ public:
+  double ca_increase(const AckContext& ctx) override {
+    return ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
+  }
+  const char* name() const override { return "reno"; }
+};
+
+}  // namespace mps

@@ -1,0 +1,457 @@
+#include "tcp/subflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace mps {
+
+Subflow::Subflow(Simulator& sim, SubflowConfig config, Path& path,
+                 std::unique_ptr<CongestionController> cc, SubflowEnv* env)
+    : sim_(sim),
+      config_(config),
+      path_(path),
+      cc_(std::move(cc)),
+      env_(env),
+      rtt_(config.rtt),
+      cwnd_(config.initial_cwnd),
+      rto_timer_(sim),
+      rack_timer_(sim),
+      established_at_(sim.now() + config.join_delay) {
+  assert(cc_ != nullptr);
+}
+
+CongestionController::AckContext Subflow::make_ctx() const {
+  CongestionController::AckContext ctx;
+  ctx.self_id = config_.id;
+  ctx.cwnd = cwnd_;
+  ctx.ssthresh = ssthresh_;
+  ctx.srtt_s = rtt_estimate().to_seconds();
+  ctx.inter_loss_bytes = inter_loss_bytes_;
+  ctx.group = env_ != nullptr ? env_->cc_group() : nullptr;
+  ctx.now = sim_.now();
+  return ctx;
+}
+
+void Subflow::set_cwnd(double cwnd) {
+  cwnd = std::max(cwnd, config_.min_cwnd);
+  if (cwnd == cwnd_) return;
+  cwnd_ = cwnd;
+  if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
+}
+
+void Subflow::poll() {
+  maybe_idle_reset();
+  transmit_staged();
+}
+
+void Subflow::maybe_idle_reset() {
+  if (!config_.idle_cwnd_reset) return;
+  if (last_send_time_.is_never() || !inflight_.empty()) return;
+  const Duration idle = sim_.now() - last_send_time_;
+  if (idle < rto()) return;
+  // Linux tcp_cwnd_restart: decay toward the restart window; the paper's
+  // description ("resets the CWND to the initial window value and restarts
+  // from the slow-start phase") corresponds to the full decay, which an OFF
+  // period of a second or more always reaches.
+  if (cwnd_ > config_.initial_cwnd) {
+    ++stats_.iw_resets;
+    ++stats_.idle_resets;
+    // RFC 2861 congestion window validation, as in Linux
+    // tcp_cwnd_application_limited: remember the achieved operating point in
+    // ssthresh so slow start can return to 3/4 of it quickly.
+    ssthresh_ = std::max(ssthresh_, 0.75 * cwnd_);
+    set_cwnd(config_.initial_cwnd);
+  }
+  // Prevent re-counting the same idle period.
+  last_send_time_ = TimePoint::never();
+}
+
+bool Subflow::can_send() const {
+  return established() && available_cwnd() >= 1;
+}
+
+bool Subflow::can_accept() const {
+  return established() && staged_bytes_ < config_.staging_limit_bytes;
+}
+
+void Subflow::assign_segment(std::uint64_t data_seq, std::uint32_t payload,
+                             bool reinjection) {
+  assert(established());
+  if (available_cwnd() >= 1 && staged_.empty()) {
+    send_segment(data_seq, payload, reinjection);
+    return;
+  }
+  staged_.push_back(StagedSeg{data_seq, payload, reinjection});
+  staged_bytes_ += payload;
+}
+
+void Subflow::transmit_staged() {
+  while (!staged_.empty() && available_cwnd() >= 1) {
+    const StagedSeg seg = staged_.front();
+    staged_.pop_front();
+    staged_bytes_ -= seg.payload;
+    send_segment(seg.data_seq, seg.payload, seg.reinjection);
+  }
+}
+
+std::int64_t Subflow::available_cwnd() const {
+  return static_cast<std::int64_t>(cwnd_) - static_cast<std::int64_t>(pipe());
+}
+
+void Subflow::send_segment(std::uint64_t data_seq, std::uint32_t payload, bool reinjection) {
+  assert(established());
+  maybe_idle_reset();
+
+  Packet pkt;
+  pkt.conn_id = config_.conn_id;
+  pkt.subflow_id = config_.id;
+  pkt.subflow_seq = next_seq_++;
+  pkt.data_seq = data_seq;
+  pkt.payload = payload;
+  pkt.ts_val = sim_.now();
+  pkt.transmit_seq = transmit_counter_++;
+
+  inflight_.emplace(pkt.subflow_seq, SentSeg{data_seq, payload, sim_.now(), false, false});
+  if (static_cast<double>(pipe()) >= cwnd_ - 1.0) cwnd_full_at_send_ = true;
+  path_.down().send(pkt);
+
+  last_send_time_ = sim_.now();
+  if (reinjection) {
+    ++stats_.reinjected_segments;
+  } else {
+    ++stats_.segments_sent;
+    stats_.bytes_sent += payload;
+  }
+  if (!rto_timer_.pending()) arm_rto();
+}
+
+SegmentRef Subflow::oldest_unacked() const {
+  assert(!inflight_.empty());
+  const SentSeg& s = inflight_.begin()->second;
+  return SegmentRef{s.data_seq, s.payload};
+}
+
+void Subflow::penalize() {
+  // Raiciu et al.: halve the slow subflow's CWND, at most once per RTT, when
+  // it blocks the meta send window.
+  const TimePoint now = sim_.now();
+  if (!last_penalty_.is_never() && now - last_penalty_ < rtt_estimate()) return;
+  last_penalty_ = now;
+  ++stats_.penalizations;
+  ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
+  set_cwnd(ssthresh_);
+}
+
+void Subflow::on_ack_packet(const Packet& ack) {
+  assert(ack.is_ack);
+  if (env_ != nullptr) {
+    env_->on_rwnd_update(ack.rwnd);
+    env_->on_data_ack(ack.data_ack);
+  }
+  sack_high_ = std::max(sack_high_, ack.sack_high);
+  apply_sack(ack);
+
+  if (ack.ack_seq > snd_una_) {
+    process_new_ack(ack);
+  } else if (!inflight_.empty()) {
+    process_dupack(ack);
+  }
+
+  update_loss_marks();
+  pump_retransmissions();
+  // Freed window space first serves this subflow's committed backlog; only
+  // then may the connection schedule new data.
+  transmit_staged();
+  if (env_ != nullptr) env_->on_subflow_ack(*this);
+}
+
+void Subflow::process_new_ack(const Packet& ack) {
+  std::uint32_t acked_segments = 0;
+  std::uint64_t acked_bytes = 0;
+  while (!inflight_.empty() && inflight_.begin()->first < ack.ack_seq) {
+    const SentSeg& seg = inflight_.begin()->second;
+    if (seg.lost && !seg.retransmitted) {
+      assert(lost_not_rtx_ > 0);
+      --lost_not_rtx_;
+    }
+    if (seg.sacked) {
+      assert(sacked_count_ > 0);
+      --sacked_count_;
+    }
+    acked_bytes += seg.payload;
+    ++acked_segments;
+    inflight_.erase(inflight_.begin());
+  }
+  snd_una_ = ack.ack_seq;
+  dupacks_ = 0;
+  rto_backoff_ = 0;
+  inter_loss_bytes_ += static_cast<double>(acked_bytes);
+
+  // Karn's algorithm: only sample RTT from echoes of original transmissions.
+  if (!ack.ts_retransmit) {
+    rtt_.add_sample(sim_.now() - ack.ts_val);
+    ++stats_.rtt_samples;
+  }
+
+  if (in_recovery_) {
+    if (ack.ack_seq >= recover_point_) {
+      in_recovery_ = false;
+      set_cwnd(ssthresh_);
+    }
+    // Partial acks: loss marking + the retransmission pump (caller) handle
+    // the remaining holes; no window growth during recovery.
+  } else {
+    // Window growth per acked full segment — but only when the window was
+    // actually the limiting factor (Linux tcp_is_cwnd_limited, recorded at
+    // transmit time); an application-limited subflow must not inflate its
+    // window.
+    if (cwnd_full_at_send_) {
+      for (std::uint32_t i = 0; i < acked_segments; ++i) {
+        if (in_slow_start()) {
+          set_cwnd(cwnd_ + 1.0);
+        } else {
+          set_cwnd(cwnd_ + cc_->ca_increase(make_ctx()));
+        }
+      }
+    }
+  }
+
+  if (inflight_.empty()) {
+    rto_timer_.cancel();
+    cwnd_full_at_send_ = false;  // flight drained; re-evaluate at next send
+  } else {
+    arm_rto();
+  }
+}
+
+void Subflow::process_dupack(const Packet& ack) {
+  (void)ack;
+  ++dupacks_;
+  // With SACK feedback, loss marking (update_loss_marks) is the primary
+  // detector. The classic three-dupack rule remains as a fallback for
+  // patterns SACK cannot flag (e.g. a single loss with exactly three
+  // following segments).
+  if (!in_recovery_ && dupacks_ >= config_.dupack_threshold && lost_not_rtx_ == 0 &&
+      !inflight_.empty()) {
+    SentSeg& lowest = inflight_.begin()->second;
+    if (!lowest.lost && !lowest.sacked) {
+      lowest.lost = true;
+      lowest.retransmitted = false;
+      ++lost_not_rtx_;
+      enter_fast_recovery();
+    }
+  }
+}
+
+void Subflow::apply_sack(const Packet& ack) {
+  for (int b = 0; b < ack.n_sack; ++b) {
+    for (auto it = inflight_.lower_bound(ack.sack_lo[b]);
+         it != inflight_.end() && it->first < ack.sack_hi[b]; ++it) {
+      SentSeg& seg = it->second;
+      if (seg.sacked) continue;
+      seg.sacked = true;
+      ++sacked_count_;
+      if (seg.lost) {
+        seg.lost = false;
+        if (!seg.retransmitted) {
+          assert(lost_not_rtx_ > 0);
+          --lost_not_rtx_;
+        }
+      }
+    }
+  }
+}
+
+Duration Subflow::rack_timeout() const {
+  // ~1.25 smoothed RTTs, floored for very low-latency paths.
+  return std::max(rtt_.srtt() + Duration::nanos(rtt_.srtt().ns() / 4), Duration::millis(40));
+}
+
+void Subflow::update_loss_marks() {
+  // FACK rule: a non-SACKed segment is lost once >= dupack_threshold
+  // segments above it have been received. Retransmissions are covered by a
+  // RACK-style rule: a retransmission not SACKed within rack_timeout() of
+  // its (re)send was itself lost.
+  bool newly_lost = false;
+  for (auto& [seq, seg] : inflight_) {
+    if (seq + config_.dupack_threshold > sack_high_) break;
+    if (seg.lost || seg.sacked) continue;
+    if (seg.retransmitted) {
+      if (sim_.now() - seg.sent_at > rack_timeout()) {
+        seg.retransmitted = false;
+        seg.lost = true;
+        ++lost_not_rtx_;
+        newly_lost = true;
+      }
+      continue;
+    }
+    seg.lost = true;
+    ++lost_not_rtx_;
+    newly_lost = true;
+  }
+  if (newly_lost && !in_recovery_) enter_fast_recovery();
+  arm_rack_timer();
+}
+
+void Subflow::arm_rack_timer() {
+  // Find the earliest outstanding retransmission below the FACK point; when
+  // the ack clock dies (everything in flight), the timer re-detects its loss.
+  TimePoint earliest = TimePoint::never();
+  for (const auto& [seq, seg] : inflight_) {
+    if (seq + config_.dupack_threshold > sack_high_) break;
+    if (seg.lost || seg.sacked || !seg.retransmitted) continue;
+    earliest = std::min(earliest, seg.sent_at);
+  }
+  if (earliest.is_never()) {
+    rack_timer_.cancel();
+    return;
+  }
+  const TimePoint deadline = earliest + rack_timeout() + Duration::millis(1);
+  rack_timer_.schedule_at(std::max(deadline, sim_.now() + Duration::millis(1)), [this] {
+    update_loss_marks();
+    pump_retransmissions();
+  });
+}
+
+void Subflow::enter_fast_recovery() {
+  in_recovery_ = true;
+  recover_point_ = next_seq_;  // recovery ends once everything sent so far acks
+  cc_->on_loss_event(make_ctx());
+  ssthresh_ = std::max(cwnd_ * cc_->loss_factor(), config_.min_cwnd);
+  set_cwnd(ssthresh_);
+  inter_loss_bytes_ = 0.0;
+  ++stats_.fast_retransmits;
+}
+
+void Subflow::pump_retransmissions() {
+  if (lost_not_rtx_ == 0) return;
+  for (auto& [seq, seg] : inflight_) {
+    if (pipe() >= static_cast<std::size_t>(std::max(cwnd_, 1.0))) break;
+    if (!seg.lost || seg.retransmitted) continue;
+    retransmit(seq, seg);
+    if (lost_not_rtx_ == 0) break;
+  }
+  // Fresh retransmissions need RACK coverage in case they are lost too and
+  // the ack clock dies.
+  arm_rack_timer();
+}
+
+void Subflow::retransmit(std::uint64_t seq, SentSeg& seg) {
+  Packet pkt;
+  pkt.conn_id = config_.conn_id;
+  pkt.subflow_id = config_.id;
+  pkt.subflow_seq = seq;
+  pkt.data_seq = seg.data_seq;
+  pkt.payload = seg.payload;
+  pkt.ts_val = sim_.now();
+  pkt.retransmit = true;
+  pkt.transmit_seq = transmit_counter_++;
+
+  assert(seg.lost && !seg.retransmitted);
+  seg.lost = false;  // presumed repaired; RACK re-marks if the rtx dies too
+  seg.retransmitted = true;
+  seg.sent_at = sim_.now();
+  --lost_not_rtx_;
+  path_.down().send(pkt);
+  last_send_time_ = sim_.now();
+  ++stats_.retransmits;
+  arm_rto();
+}
+
+void Subflow::arm_rto() {
+  const Duration timeout = rto() * (std::int64_t{1} << std::min(rto_backoff_, 6));
+  rto_timer_.schedule_after(timeout, [this] { on_rto_fire(); });
+}
+
+void Subflow::on_rto_fire() {
+  if (inflight_.empty()) return;
+  ++stats_.rto_events;
+  ++stats_.iw_resets;  // back into slow start from a minimal window
+  cc_->on_rto(make_ctx());
+  ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
+  set_cwnd(config_.min_cwnd);
+  in_recovery_ = false;
+  dupacks_ = 0;
+  inter_loss_bytes_ = 0.0;
+  ++rto_backoff_;
+
+  // Everything outstanding that the receiver has not SACKed is presumed
+  // lost and must be resent.
+  lost_not_rtx_ = 0;
+  for (auto& [seq, seg] : inflight_) {
+    if (seg.sacked) {
+      seg.lost = false;
+      continue;
+    }
+    seg.lost = true;
+    seg.retransmitted = false;
+    ++lost_not_rtx_;
+  }
+  pump_retransmissions();
+  if (env_ != nullptr) env_->on_subflow_ack(*this);
+}
+
+// ---------------------------------------------------------------------------
+// SubflowReceiver
+
+SubflowReceiver::SubflowReceiver(Simulator& sim, std::uint32_t conn_id,
+                                 std::uint32_t subflow_id, Path& path, MetaSink* sink)
+    : sim_(sim), conn_id_(conn_id), subflow_id_(subflow_id), path_(path), sink_(sink) {}
+
+void SubflowReceiver::on_data_packet(const Packet& pkt) {
+  assert(!pkt.is_ack);
+  const TimePoint now = sim_.now();
+  sink_->on_wire_arrival(subflow_id_, pkt.data_seq, pkt.payload, now);
+  rcv_high_ = std::max(rcv_high_, pkt.subflow_seq + 1);
+
+  if (pkt.subflow_seq == rcv_next_) {
+    ++rcv_next_;
+    sink_->on_subflow_deliver(subflow_id_, pkt.data_seq, pkt.payload, now);
+    // Drain any contiguous held segments.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first == rcv_next_) {
+      ++rcv_next_;
+      sink_->on_subflow_deliver(subflow_id_, it->second.data_seq, it->second.payload,
+                                it->second.arrival);
+      it = ooo_.erase(it);
+    }
+  } else if (pkt.subflow_seq > rcv_next_) {
+    ooo_.emplace(pkt.subflow_seq, Held{pkt.data_seq, pkt.payload, now});
+  }
+  // else: duplicate of an already-delivered segment; ack it again below.
+
+  send_ack(pkt);
+}
+
+void SubflowReceiver::send_ack(const Packet& trigger) {
+  Packet ack;
+  ack.conn_id = conn_id_;
+  ack.subflow_id = subflow_id_;
+  ack.is_ack = true;
+  ack.ack_seq = rcv_next_;
+  ack.sack_high = rcv_high_;
+
+  // SACK blocks: contiguous runs of out-of-order segments, lowest first.
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && ack.n_sack < Packet::kMaxSackBlocks) {
+    const std::uint64_t lo = it->first;
+    std::uint64_t hi = lo + 1;
+    ++it;
+    while (it != ooo_.end() && it->first == hi) {
+      ++hi;
+      ++it;
+    }
+    ack.sack_lo[ack.n_sack] = lo;
+    ack.sack_hi[ack.n_sack] = hi;
+    ++ack.n_sack;
+  }
+  ack.data_ack = sink_->meta_data_ack();
+  ack.rwnd = sink_->meta_rwnd();
+  ack.ts_val = trigger.ts_val;
+  ack.ts_retransmit = trigger.retransmit;
+  path_.up().send(ack);
+}
+
+}  // namespace mps

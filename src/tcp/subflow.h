@@ -1,0 +1,290 @@
+// One MPTCP subflow: the sender-side TCP state machine and the client-side
+// receiver.
+//
+// The sender implements NewReno-style loss recovery (dupack fast retransmit,
+// partial-ack hole filling), RFC 6298 RTO with exponential backoff, and the
+// idle CWND reset the paper identifies as the root cause of fast-path
+// under-utilization: a subflow idle for longer than its RTO restarts from
+// the initial window (RFC 5681 / Linux tcp_cwnd_restart). Congestion
+// avoidance increase is delegated to a pluggable CongestionController, so
+// the same subflow runs Reno, CUBIC, or the coupled LIA/OLIA controllers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "tcp/cc.h"
+#include "tcp/rtt.h"
+#include "util/time.h"
+
+namespace mps {
+
+class Subflow;
+
+// Callbacks from a subflow into its owning MPTCP connection (server side).
+class SubflowEnv {
+ public:
+  virtual ~SubflowEnv() = default;
+  // New data was cumulatively acked on `sf`; the connection should try to
+  // schedule more segments.
+  virtual void on_subflow_ack(Subflow& sf) = 0;
+  // Meta-level cumulative ack advanced (frees connection send buffer).
+  virtual void on_data_ack(std::uint64_t data_ack) = 0;
+  // Advertised meta receive window update.
+  virtual void on_rwnd_update(std::uint64_t rwnd) = 0;
+  // Group view for coupled congestion controllers (may return nullptr).
+  virtual const CcGroup* cc_group() const = 0;
+};
+
+struct SubflowConfig {
+  std::uint32_t id = 0;
+  std::uint32_t conn_id = 0;
+  std::uint32_t mss = kDefaultMss;
+  double initial_cwnd = 10.0;  // RFC 6928
+  double min_cwnd = 2.0;
+  std::uint32_t dupack_threshold = 3;
+  // RFC 5681 7.1 / Linux tcp_slow_start_after_idle: restart from IW after an
+  // idle period >= RTO. Switchable to reproduce paper Fig. 6.
+  bool idle_cwnd_reset = true;
+  // Per-subflow send-queue limit: segments a scheduler may stage on this
+  // subflow beyond its CWND (TSQ-style). In the MPTCP 0.89 stack the paper
+  // uses, segments are committed to a subflow's send queue at scheduling
+  // time and cannot be rescheduled — paper Fig. 3 shows ~130 KB staged on
+  // the 0.3 Mbps WiFi subflow. This committed backlog is what makes default
+  // scheduling so costly on slow paths, and what ECF's waiting avoids.
+  std::uint64_t staging_limit_bytes = 64 * 1024;
+  // Secondary subflows join via MP_JOIN one handshake after the connection
+  // starts; primary subflows have zero delay.
+  Duration join_delay = Duration::zero();
+  RttConfig rtt;
+};
+
+struct SubflowStats {
+  std::uint64_t segments_sent = 0;      // original transmissions
+  std::uint64_t bytes_sent = 0;         // original payload bytes
+  std::uint64_t reinjected_segments = 0;  // opportunistic reinjections carried
+  std::uint64_t retransmits = 0;        // subflow-level loss retransmissions
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t rto_events = 0;
+  std::uint64_t iw_resets = 0;  // CWND pulled back to <= IW (idle or RTO)
+  std::uint64_t idle_resets = 0;
+  std::uint64_t penalizations = 0;
+  std::uint64_t rtt_samples = 0;
+};
+
+// A segment's meta-level identity, used for opportunistic reinjection.
+struct SegmentRef {
+  std::uint64_t data_seq = 0;
+  std::uint32_t payload = 0;
+};
+
+class Subflow {
+ public:
+  Subflow(Simulator& sim, SubflowConfig config, Path& path,
+          std::unique_ptr<CongestionController> cc, SubflowEnv* env);
+
+  // --- wiring -------------------------------------------------------------
+  // Handler for ACK packets demuxed from the path's uplink.
+  void on_ack_packet(const Packet& ack);
+
+  // --- scheduler-facing state ---------------------------------------------
+  std::uint32_t id() const { return config_.id; }
+  Path& path() { return path_; }
+  const Path& path() const { return path_; }
+  bool established() const { return sim_.now() >= established_at_; }
+  // Applies lazy state transitions (idle CWND reset). The connection calls
+  // this on every subflow before a scheduling round.
+  void poll();
+  // True when established with at least one free segment slot in CWND.
+  bool can_send() const;
+  // True when a scheduler may stage another segment on this subflow (the
+  // mptcp.org availability notion: room in the subflow send queue).
+  bool can_accept() const;
+  std::uint64_t staged_bytes() const { return staged_bytes_; }
+  std::size_t staged_segments() const { return staged_.size(); }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  std::uint32_t inflight_segments() const { return static_cast<std::uint32_t>(inflight_.size()); }
+  // Free CWND space in whole segments (>= 0).
+  std::int64_t available_cwnd() const;
+  std::uint32_t mss() const { return config_.mss; }
+
+  const RttEstimator& rtt() const { return rtt_; }
+  Duration srtt() const { return rtt_.srtt(); }
+  // ECF's sigma: RTT variability. The kernel derives it from the smoothed
+  // mean deviation (mdev/rttvar); the windowed sample stddev alone reacts
+  // too slowly to queue sawtooth, so take the larger of the two.
+  Duration rtt_stddev() const { return std::max(rtt_.stddev(), rtt_.rttvar()); }
+  Duration rto() const { return rtt_.rto(); }
+  // Before any sample, fall back to the path's base RTT so schedulers have a
+  // usable ordering from the first decision (mirrors the kernel seeding the
+  // estimate from the SYN/ACK exchange).
+  Duration rtt_estimate() const {
+    return rtt_.has_sample() ? rtt_.srtt() : path_.rtt_base();
+  }
+
+  // --- transmission -------------------------------------------------------
+  // Commits one segment to this subflow (the scheduler's decision is final,
+  // as in MPTCP 0.89): transmitted immediately if CWND allows, staged in the
+  // subflow send queue otherwise. `reinjection` marks duplicate copies
+  // (redundant scheduling / opportunistic retransmission accounting).
+  void assign_segment(std::uint64_t data_seq, std::uint32_t payload,
+                      bool reinjection = false);
+  // Sends one segment carrying [data_seq, data_seq + payload) immediately.
+  // `reinjection` marks opportunistic retransmissions of data owned by
+  // another subflow. Precondition: available_cwnd() >= 1.
+  void send_segment(std::uint64_t data_seq, std::uint32_t payload, bool reinjection = false);
+
+  // --- opportunistic retransmission / penalization support -----------------
+  bool has_unacked() const { return !inflight_.empty(); }
+  SegmentRef oldest_unacked() const;
+  // Halves CWND (at most once per SRTT), per Raiciu et al.'s penalization.
+  void penalize();
+
+  // --- diagnostics ----------------------------------------------------------
+  const SubflowStats& stats() const { return stats_; }
+  TimePoint last_send_time() const { return last_send_time_; }
+  TimePoint established_at() const { return established_at_; }
+  const char* cc_name() const { return cc_->name(); }
+  double inter_loss_bytes() const { return inter_loss_bytes_; }
+
+  // Invoked on every CWND change with (time, cwnd); used by trace sinks.
+  std::function<void(TimePoint, double)> on_cwnd_change;
+
+ private:
+  struct SentSeg {
+    std::uint64_t data_seq = 0;
+    std::uint32_t payload = 0;
+    TimePoint sent_at;
+    bool retransmitted = false;
+    bool sacked = false;  // receiver holds it out of order
+    bool lost = false;    // FACK-deemed lost, awaiting retransmission
+  };
+
+  CongestionController::AckContext make_ctx() const;
+  void set_cwnd(double cwnd);
+  void maybe_idle_reset();
+  void process_new_ack(const Packet& ack);
+  void process_dupack(const Packet& ack);
+  // Applies the ACK's SACK blocks to the scoreboard.
+  void apply_sack(const Packet& ack);
+  // Marks segments lost by the FACK rule (>= 3 segments SACKed above them).
+  void update_loss_marks();
+  void enter_fast_recovery();
+  // Segments presumed in the network: everything in flight that is neither
+  // SACKed nor deemed lost, plus retransmissions of lost segments.
+  std::size_t pipe() const { return inflight_.size() - lost_not_rtx_ - sacked_count_; }
+  // Retransmits deemed-lost segments while pipe() < cwnd.
+  void pump_retransmissions();
+  void retransmit(std::uint64_t seq, SentSeg& seg);
+  void arm_rto();
+  void on_rto_fire();
+  // Arms the RACK reorder timer for the earliest outstanding retransmission
+  // (lost retransmissions have no ack clock to re-detect them otherwise).
+  Duration rack_timeout() const;
+  void arm_rack_timer();
+  // Moves staged segments into the network while CWND space allows.
+  void transmit_staged();
+
+  Simulator& sim_;
+  SubflowConfig config_;
+  Path& path_;
+  std::unique_ptr<CongestionController> cc_;
+  SubflowEnv* env_;
+
+  RttEstimator rtt_;
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  std::uint64_t next_seq_ = 0;   // next subflow sequence number to assign
+  std::uint64_t snd_una_ = 0;    // lowest unacked subflow seq
+  std::map<std::uint64_t, SentSeg> inflight_;
+
+  // Segments committed by the scheduler, awaiting CWND space.
+  struct StagedSeg {
+    std::uint64_t data_seq;
+    std::uint32_t payload;
+    bool reinjection;
+  };
+  std::deque<StagedSeg> staged_;
+  std::uint64_t staged_bytes_ = 0;
+
+  std::uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_point_ = 0;  // recovery ends when ack_seq reaches it
+  std::uint64_t sack_high_ = 0;      // highest sack_high seen from the peer
+  std::size_t lost_not_rtx_ = 0;     // deemed lost, not yet retransmitted
+  std::size_t sacked_count_ = 0;     // in inflight_, received out of order
+
+  Timer rto_timer_;
+  Timer rack_timer_;
+  int rto_backoff_ = 0;
+
+  TimePoint established_at_;
+  bool cwnd_full_at_send_ = false;  // Linux tcp_is_cwnd_limited analogue
+  TimePoint last_send_time_ = TimePoint::never();
+  TimePoint last_penalty_ = TimePoint::never();
+  double inter_loss_bytes_ = 0.0;  // OLIA's l_r
+
+  SubflowStats stats_;
+  std::uint64_t transmit_counter_ = 0;
+};
+
+// Client-side receiver for one subflow: enforces subflow-level in-order
+// delivery toward the meta receiver (a loss on a subflow blocks later
+// segments of that subflow, as in real TCP) and generates cumulative ACKs
+// carrying the meta-level data ack and advertised window.
+class MetaSink {
+ public:
+  virtual ~MetaSink() = default;
+  // A segment became deliverable in subflow order. `wire_arrival` is when
+  // the packet physically arrived at the client.
+  virtual void on_subflow_deliver(std::uint32_t subflow_id, std::uint64_t data_seq,
+                                  std::uint32_t payload, TimePoint wire_arrival) = 0;
+  // Every data packet arrival, before any ordering (trace granularity).
+  virtual void on_wire_arrival(std::uint32_t /*subflow_id*/, std::uint64_t /*data_seq*/,
+                               std::uint32_t /*payload*/, TimePoint /*arrival*/) {}
+  // Current meta-level cumulative ack / advertised window for outgoing ACKs.
+  virtual std::uint64_t meta_data_ack() const = 0;
+  virtual std::uint64_t meta_rwnd() const = 0;
+};
+
+class SubflowReceiver {
+ public:
+  SubflowReceiver(Simulator& sim, std::uint32_t conn_id, std::uint32_t subflow_id,
+                  Path& path, MetaSink* sink);
+
+  // Handler for data packets demuxed from the path's downlink.
+  void on_data_packet(const Packet& pkt);
+
+  std::uint64_t rcv_next() const { return rcv_next_; }
+  std::uint64_t rcv_high() const { return rcv_high_; }
+  std::size_t ooo_held() const { return ooo_.size(); }
+
+ private:
+  void send_ack(const Packet& trigger);
+
+  Simulator& sim_;
+  std::uint32_t conn_id_;
+  std::uint32_t subflow_id_;
+  Path& path_;
+  MetaSink* sink_;
+
+  std::uint64_t rcv_next_ = 0;
+  std::uint64_t rcv_high_ = 0;  // highest received + 1 (SACK summary)
+  struct Held {
+    std::uint64_t data_seq;
+    std::uint32_t payload;
+    TimePoint arrival;
+  };
+  std::map<std::uint64_t, Held> ooo_;
+};
+
+}  // namespace mps

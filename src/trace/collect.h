@@ -1,0 +1,59 @@
+// Collectors that attach to the stack's trace hooks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mptcp/connection.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+#include "trace/series.h"
+
+namespace mps {
+
+// Records every CWND change of a subflow (paper Figs. 11/12).
+class CwndTracer {
+ public:
+  explicit CwndTracer(Subflow& sf) {
+    sf.on_cwnd_change = [this](TimePoint t, double cwnd) { series_.add(t, cwnd); };
+    series_.add(TimePoint::origin(), sf.cwnd());
+  }
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  TimeSeries series_;
+};
+
+// Samples a value periodically (paper Fig. 3's send-buffer occupancy).
+class PeriodicSampler {
+ public:
+  PeriodicSampler(Simulator& sim, Duration interval, std::function<double()> probe)
+      : sim_(sim), interval_(interval), probe_(std::move(probe)), timer_(sim) {
+    tick();
+  }
+
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void tick() {
+    series_.add(sim_.now(), probe_());
+    timer_.schedule_after(interval_, [this] { tick(); });
+  }
+
+  Simulator& sim_;
+  Duration interval_;
+  std::function<double()> probe_;
+  Timer timer_;
+  TimeSeries series_;
+};
+
+// Per-subflow send-buffer occupancy: staged (scheduled, awaiting CWND) plus
+// un-acked in-flight bytes — "including in-flight packets" as in paper
+// Fig. 3.
+inline double subflow_sndbuf_bytes(const Subflow& sf) {
+  return static_cast<double>(sf.staged_bytes()) +
+         static_cast<double>(sf.inflight_segments()) * sf.mss();
+}
+
+}  // namespace mps

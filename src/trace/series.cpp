@@ -1,0 +1,24 @@
+#include "trace/series.h"
+
+namespace mps {
+
+double TimeSeries::time_mean(TimePoint from, TimePoint to) const {
+  if (to <= from || points_.empty()) return 0.0;
+  double area = 0.0;
+  double current = 0.0;
+  TimePoint cursor = from;
+  for (const auto& p : points_) {
+    if (p.t <= from) {
+      current = p.value;
+      continue;
+    }
+    if (p.t >= to) break;
+    area += current * (p.t - cursor).to_seconds();
+    cursor = p.t;
+    current = p.value;
+  }
+  area += current * (to - cursor).to_seconds();
+  return area / (to - from).to_seconds();
+}
+
+}  // namespace mps

@@ -1,0 +1,48 @@
+// Time series container for traces (CWND, buffer occupancy, throughput).
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace mps {
+
+struct TimeSeriesPoint {
+  TimePoint t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void add(TimePoint t, double value) { points_.push_back({t, value}); }
+
+  const std::vector<TimeSeriesPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  // Value in effect at time t (step interpolation); 0 before first point.
+  double at(TimePoint t) const {
+    double v = 0.0;
+    for (const auto& p : points_) {
+      if (p.t > t) break;
+      v = p.value;
+    }
+    return v;
+  }
+
+  double max_value() const {
+    double m = 0.0;
+    for (const auto& p : points_) m = std::max(m, p.value);
+    return m;
+  }
+
+  // Time-weighted mean over [from, to], step interpolation.
+  double time_mean(TimePoint from, TimePoint to) const;
+
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<TimeSeriesPoint> points_;
+};
+
+}  // namespace mps

@@ -1,0 +1,24 @@
+#include "util/log.h"
+
+namespace mps {
+namespace log_internal {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace log_internal
+
+void log_write(LogLevel level, const char* file, int line, const std::string& msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const char* name = kNames[static_cast<int>(level)];
+  // Strip directories from the file path for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s] %s:%d %s\n", name, base, line, msg.c_str());
+}
+
+}  // namespace mps

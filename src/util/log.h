@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// Simulation hot paths never log unconditionally; use MPS_VLOG which
+// evaluates its arguments only when verbose logging is enabled.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace mps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+LogLevel& threshold();
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) { log_internal::threshold() = level; }
+inline bool log_enabled(LogLevel level) { return level >= log_internal::threshold(); }
+
+void log_write(LogLevel level, const char* file, int line, const std::string& msg);
+
+template <typename... Args>
+std::string log_format(const char* fmt, Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return fmt;
+  } else {
+    const int needed = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+    std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+    if (needed > 0) std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+    return out;
+  }
+}
+
+}  // namespace mps
+
+#define MPS_LOG(level, ...)                                                       \
+  do {                                                                            \
+    if (::mps::log_enabled(level)) {                                              \
+      ::mps::log_write(level, __FILE__, __LINE__, ::mps::log_format(__VA_ARGS__)); \
+    }                                                                             \
+  } while (0)
+
+#define MPS_DEBUG(...) MPS_LOG(::mps::LogLevel::kDebug, __VA_ARGS__)
+#define MPS_INFO(...) MPS_LOG(::mps::LogLevel::kInfo, __VA_ARGS__)
+#define MPS_WARN(...) MPS_LOG(::mps::LogLevel::kWarn, __VA_ARGS__)
+#define MPS_ERROR(...) MPS_LOG(::mps::LogLevel::kError, __VA_ARGS__)

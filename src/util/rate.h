@@ -1,0 +1,49 @@
+// Strong type for link / transfer rates.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "util/time.h"
+
+namespace mps {
+
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate bits_per_sec(double bps) { return Rate{bps}; }
+  static constexpr Rate kbps(double k) { return Rate{k * 1e3}; }
+  static constexpr Rate mbps(double m) { return Rate{m * 1e6}; }
+  static constexpr Rate gbps(double g) { return Rate{g * 1e9}; }
+  static constexpr Rate zero() { return Rate{0.0}; }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double to_mbps() const { return bps_ * 1e-6; }
+  constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  // Serialization time for `bytes` at this rate.
+  constexpr Duration transmit_time(std::int64_t bytes) const {
+    if (bps_ <= 0.0) return Duration::infinite();
+    return Duration::from_seconds(static_cast<double>(bytes) * 8.0 / bps_);
+  }
+
+  // Bytes deliverable over `d` at this rate.
+  constexpr double bytes_over(Duration d) const { return bps_ * d.to_seconds() / 8.0; }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.bps_ + b.bps_}; }
+  friend constexpr Rate operator*(Rate a, double k) { return Rate{a.bps_ * k}; }
+  friend constexpr auto operator<=>(Rate, Rate) = default;
+
+ private:
+  constexpr explicit Rate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+// Rate measured as bytes delivered over an interval.
+constexpr Rate rate_of(std::int64_t bytes, Duration d) {
+  if (d <= Duration::zero()) return Rate::zero();
+  return Rate::bits_per_sec(static_cast<double>(bytes) * 8.0 / d.to_seconds());
+}
+
+}  // namespace mps

@@ -1,0 +1,105 @@
+// Deterministic random number generation (xoshiro256++).
+//
+// Every stochastic element of a scenario draws from a seeded Rng owned by
+// that scenario, so identical seeds give bit-identical runs. std::mt19937 is
+// avoided because distribution implementations differ across standard
+// libraries; all distributions here are implemented explicitly.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace mps {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to fill the state from a single word.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless method, simplified (bias negligible for
+    // simulation n << 2^64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  double exponential(double mean) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    // Box-Muller with caching.
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return mean + stddev * gauss_;
+    }
+    double u1;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    gauss_ = r * std::sin(2.0 * std::numbers::pi * u2);
+    have_gauss_ = true;
+    return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  // Pareto with scale xm and shape alpha.
+  double pareto(double xm, double alpha) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // Derive an independent stream (e.g. one per subsystem) from this one.
+  Rng fork() { return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace mps

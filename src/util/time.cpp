@@ -1,0 +1,27 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace mps {
+
+std::string Duration::str() const {
+  char buf[64];
+  if (is_infinite()) return "inf";
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::str() const {
+  char buf[64];
+  if (is_never()) return "never";
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace mps

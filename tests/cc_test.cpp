@@ -1,0 +1,197 @@
+// Tests for the congestion controllers: Reno, CUBIC, LIA, OLIA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "tcp/cc.h"
+#include "tcp/cc_cubic.h"
+#include "tcp/cc_lia.h"
+#include "tcp/cc_olia.h"
+#include "tcp/cc_reno.h"
+
+namespace mps {
+namespace {
+
+// A fixed group of subflows for coupled-controller tests.
+class FakeGroup final : public CcGroup {
+ public:
+  std::vector<CcSiblingInfo> siblings;
+  void cc_sibling_info(std::vector<CcSiblingInfo>& out) const override { out = siblings; }
+};
+
+CongestionController::AckContext ctx_of(double cwnd, double rtt_s,
+                                        const CcGroup* group = nullptr,
+                                        std::uint32_t self = 0) {
+  CongestionController::AckContext ctx;
+  ctx.self_id = self;
+  ctx.cwnd = cwnd;
+  ctx.ssthresh = 1e9;
+  ctx.srtt_s = rtt_s;
+  ctx.group = group;
+  ctx.now = TimePoint::from_ns(1'000'000'000);
+  return ctx;
+}
+
+CcSiblingInfo sibling(std::uint32_t id, double cwnd, double rtt_s,
+                      double inter_loss = 1e6) {
+  CcSiblingInfo s;
+  s.subflow_id = id;
+  s.cwnd = cwnd;
+  s.srtt_s = rtt_s;
+  s.established = true;
+  s.inter_loss_bytes = inter_loss;
+  return s;
+}
+
+// --- Reno ---------------------------------------------------------------------
+
+TEST(RenoTest, OneSegmentPerWindow) {
+  RenoCc cc;
+  EXPECT_DOUBLE_EQ(cc.ca_increase(ctx_of(10, 0.1)), 0.1);
+  EXPECT_DOUBLE_EQ(cc.ca_increase(ctx_of(100, 0.1)), 0.01);
+}
+
+TEST(RenoTest, HalvesOnLoss) {
+  RenoCc cc;
+  EXPECT_DOUBLE_EQ(cc.loss_factor(), 0.5);
+}
+
+// --- CUBIC --------------------------------------------------------------------
+
+TEST(CubicTest, Beta07) {
+  CubicCc cc;
+  EXPECT_DOUBLE_EQ(cc.loss_factor(), 0.7);
+}
+
+TEST(CubicTest, GrowsTowardWmaxAfterLoss) {
+  CubicCc cc;
+  auto ctx = ctx_of(100, 0.05);
+  cc.on_loss_event(ctx);  // w_max ~ 100
+  // Immediately after the loss epoch starts, growth is slow near the
+  // plateau and positive.
+  ctx.cwnd = 70;
+  const double inc_early = cc.ca_increase(ctx);
+  EXPECT_GT(inc_early, 0.0);
+  // Much later in the epoch, the cubic term dominates and growth is faster.
+  ctx.now = ctx.now + Duration::seconds(10);
+  ctx.cwnd = 100;
+  const double inc_late = cc.ca_increase(ctx);
+  EXPECT_GT(inc_late, inc_early);
+}
+
+TEST(CubicTest, PerAckIncreaseCapped) {
+  CubicCc cc;
+  auto ctx = ctx_of(1.0, 0.5);
+  cc.on_loss_event(ctx_of(200, 0.5));
+  ctx.now = ctx.now + Duration::seconds(100);
+  EXPECT_LE(cc.ca_increase(ctx), 0.5);
+}
+
+TEST(CubicTest, ResetClearsEpoch) {
+  CubicCc cc;
+  auto ctx = ctx_of(50, 0.05);
+  cc.on_loss_event(ctx);
+  cc.reset();
+  // After reset the controller behaves as fresh (no crash, positive inc).
+  EXPECT_GT(cc.ca_increase(ctx), 0.0);
+}
+
+// --- LIA ----------------------------------------------------------------------
+
+TEST(LiaTest, SinglePathReducesToReno) {
+  LiaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1)};
+  const double inc = cc.ca_increase(ctx_of(10, 0.1, &group, 0));
+  EXPECT_NEAR(inc, 1.0 / 10.0, 1e-9);
+}
+
+TEST(LiaTest, NoGroupReducesToReno) {
+  LiaCc cc;
+  EXPECT_NEAR(cc.ca_increase(ctx_of(25, 0.1)), 1.0 / 25.0, 1e-12);
+}
+
+TEST(LiaTest, CoupledIncreaseNeverExceedsReno) {
+  LiaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1), sibling(1, 50, 0.05)};
+  const double inc = cc.ca_increase(ctx_of(10, 0.1, &group, 0));
+  EXPECT_LE(inc, 1.0 / 10.0 + 1e-12);
+  EXPECT_GT(inc, 0.0);
+}
+
+TEST(LiaTest, MatchesRfc6356Alpha) {
+  LiaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1), sibling(1, 40, 0.05)};
+  // alpha = tot * max(w_i/rtt_i^2) / (sum w_i/rtt_i)^2
+  const double tot = 50.0;
+  const double best = std::max(10.0 / 0.01, 40.0 / 0.0025);
+  const double sum = 10.0 / 0.1 + 40.0 / 0.05;
+  const double alpha = tot * best / (sum * sum);
+  const double expected = std::min(alpha / tot, 1.0 / 10.0);
+  EXPECT_NEAR(cc.ca_increase(ctx_of(10, 0.1, &group, 0)), expected, 1e-9);
+}
+
+TEST(LiaTest, IgnoresUnestablishedSiblings) {
+  LiaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1)};
+  CcSiblingInfo dead = sibling(1, 1000, 0.001);
+  dead.established = false;
+  group.siblings.push_back(dead);
+  EXPECT_NEAR(cc.ca_increase(ctx_of(10, 0.1, &group, 0)), 0.1, 1e-9);
+}
+
+// --- OLIA ---------------------------------------------------------------------
+
+TEST(OliaTest, SinglePathApproximatesReno) {
+  OliaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1)};
+  EXPECT_NEAR(cc.ca_increase(ctx_of(10, 0.1, &group, 0)), 1.0 / 10.0, 1e-9);
+}
+
+TEST(OliaTest, CollectedPathGetsBoost) {
+  OliaCc cc;
+  FakeGroup group;
+  // Path 0: high quality (large inter-loss), small window -> in B \ M.
+  // Path 1: max window, lower quality.
+  group.siblings = {sibling(0, 10, 0.1, 1e9), sibling(1, 100, 0.1, 1e3)};
+  const double inc_collected = cc.ca_increase(ctx_of(10, 0.1, &group, 0));
+  const double base = (10.0 / 0.01) / std::pow(10.0 / 0.1 + 100.0 / 0.1, 2.0);
+  EXPECT_GT(inc_collected, base);
+}
+
+TEST(OliaTest, MaxWindowPathGetsPenalty) {
+  OliaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 10, 0.1, 1e9), sibling(1, 100, 0.1, 1e3)};
+  const double inc_max = cc.ca_increase(ctx_of(100, 0.1, &group, 1));
+  const double base = (100.0 / 0.01) / std::pow(10.0 / 0.1 + 100.0 / 0.1, 2.0);
+  EXPECT_LT(inc_max, base);
+  EXPECT_GE(inc_max, 0.0);  // clamped non-negative
+}
+
+TEST(OliaTest, SymmetricPathsNoAlpha) {
+  OliaCc cc;
+  FakeGroup group;
+  group.siblings = {sibling(0, 20, 0.1, 1e6), sibling(1, 20, 0.1, 1e6)};
+  // B == M (both best and max): alpha = 0 for everyone.
+  const double base = (20.0 / 0.01) / std::pow(2 * 20.0 / 0.1, 2.0);
+  EXPECT_NEAR(cc.ca_increase(ctx_of(20, 0.1, &group, 0)), base, 1e-9);
+}
+
+// --- factory --------------------------------------------------------------------
+
+TEST(CcFactoryTest, MakesAllKinds) {
+  for (CcKind kind : {CcKind::kReno, CcKind::kCubic, CcKind::kLia, CcKind::kOlia}) {
+    auto cc = make_cc(kind);
+    ASSERT_NE(cc, nullptr);
+    EXPECT_STREQ(cc->name(), cc_kind_name(kind));
+  }
+}
+
+}  // namespace
+}  // namespace mps

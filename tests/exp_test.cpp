@@ -1,0 +1,90 @@
+// Tests for the experiment harness: testbed wiring, ideal references, scale.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/ideal.h"
+#include "exp/scale.h"
+#include "exp/streaming.h"
+#include "exp/testbed.h"
+#include "sched/registry.h"
+
+namespace mps {
+namespace {
+
+TEST(IdealTest, BitrateCappedAtTopTier) {
+  EXPECT_DOUBLE_EQ(ideal_bitrate_mbps(8.6, 8.6), 8.47);
+  EXPECT_DOUBLE_EQ(ideal_bitrate_mbps(0.3, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(ideal_bitrate_mbps(0.3, 8.6), 8.47);  // paper upper-left case
+}
+
+TEST(IdealTest, FastFraction) {
+  EXPECT_NEAR(ideal_fast_fraction(8.6, 0.3), 8.6 / 8.9, 1e-12);
+  EXPECT_DOUBLE_EQ(ideal_fast_fraction(4.2, 4.2), 0.5);
+  EXPECT_DOUBLE_EQ(ideal_fast_fraction(0.0, 0.0), 0.0);
+}
+
+TEST(IdealTest, GridMatchesPaper) {
+  const auto& grid = paper_bandwidth_grid();
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.3);
+  EXPECT_DOUBLE_EQ(grid.back(), 8.6);
+}
+
+TEST(ScaleTest, DefaultsAreQuick) {
+  // The env var is unset (or quick) in the test harness; defaults must be
+  // the fast configuration and the note must mention the switch.
+  const BenchScale& s = bench_scale();
+  EXPECT_GE(s.streaming_runs, 1);
+  EXPECT_NE(scale_note().find("MPS_BENCH_SCALE"), std::string::npos);
+}
+
+TEST(TestbedTest, RequestDelayIsHalfPrimaryRtt) {
+  TestbedConfig tb;
+  Testbed bed(tb);
+  EXPECT_EQ(bed.request_delay().ns(), bed.wifi().rtt_base().ns() / 2);
+}
+
+TEST(TestbedTest, ConnectionsGetUniqueIds) {
+  Testbed bed(TestbedConfig{});
+  auto a = bed.make_connection(scheduler_factory("default"));
+  auto b = bed.make_connection(scheduler_factory("default"));
+  EXPECT_NE(a->config().conn_id, b->config().conn_id);
+}
+
+TEST(TestbedTest, SubflowOrderIsWifiThenLte) {
+  TestbedConfig tb;
+  tb.subflows_per_path = 2;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  ASSERT_EQ(conn->subflows().size(), 4u);
+  EXPECT_EQ(conn->subflows()[0]->path().name(), "wifi");
+  EXPECT_EQ(conn->subflows()[1]->path().name(), "wifi");
+  EXPECT_EQ(conn->subflows()[2]->path().name(), "lte");
+  EXPECT_EQ(conn->subflows()[3]->path().name(), "lte");
+}
+
+TEST(StreamingParamsTest, SchedulerOverrideAndStagingKnobs) {
+  StreamingParams p;
+  p.wifi_mbps = 1.1;
+  p.lte_mbps = 8.6;
+  p.video = Duration::seconds(30);
+  p.staging_bytes = 16 * 1024;
+  bool used = false;
+  p.scheduler_override = [&used] {
+    used = true;
+    return scheduler_factory("ecf")();
+  };
+  const auto r = run_streaming(p);
+  EXPECT_TRUE(used);
+  EXPECT_GT(r.chunks_fetched, 0);
+}
+
+TEST(TestbedTest, RunForAdvancesClock) {
+  Testbed bed(TestbedConfig{});
+  bed.run_for(Duration::seconds(3));
+  EXPECT_EQ(bed.sim().now().ns(), Duration::seconds(3).ns());
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,246 @@
+// Tests for the MPTCP meta connection: send-buffer accounting, data-sequence
+// reassembly, out-of-order delay measurement, window autotuning,
+// opportunistic retransmission, and multi-connection demultiplexing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/testbed.h"
+#include "test_util.h"
+#include "sched/registry.h"
+#include "sched/minrtt.h"
+
+namespace mps {
+namespace {
+
+TestbedConfig hetero_config() {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(1.0));
+  tb.lte = lte_profile(Rate::mbps(10.0));
+  return tb;
+}
+
+TEST(ConnectionTest, SendLimitedBySndbuf) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.sndbuf_bytes = 100 * 1000;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  const std::uint64_t accepted = conn->send(1'000'000);
+  EXPECT_EQ(accepted, 100 * 1000u);
+  EXPECT_EQ(conn->sndbuf_free(), 0u);
+}
+
+TEST(ConnectionTest, DeliversAllBytesInOrder) {
+  Testbed bed(hetero_config());
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  std::uint64_t delivered = 0;
+  TimePoint last;
+  conn->on_deliver = [&](std::uint64_t bytes, TimePoint when) {
+    delivered += bytes;
+    EXPECT_GE(when, last);
+    last = when;
+  };
+  BulkSender sender(*conn, 500'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(30));
+  EXPECT_EQ(delivered, 500'000u);
+  EXPECT_EQ(conn->delivered_bytes(), 500'000u);
+}
+
+TEST(ConnectionTest, SendableCallbackRefillsBuffer) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.sndbuf_bytes = 50'000;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  std::uint64_t remaining = 400'000;
+  std::uint64_t queued = 0;
+  auto push = [&] {
+    const std::uint64_t sent = conn->send(remaining);
+    queued += sent;
+    remaining -= sent;
+  };
+  conn->on_sendable = push;
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t b, TimePoint) { delivered += b; };
+  push();
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(60));
+  EXPECT_EQ(queued, 400'000u);
+  EXPECT_EQ(delivered, 400'000u);
+}
+
+TEST(ConnectionTest, OooDelayMeasuredPerPacket) {
+  Testbed bed(hetero_config());
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  BulkSender sender(*conn, 2'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(60));
+  const Samples& ooo = conn->ooo_delay();
+  // One sample per delivered packet; heterogeneous paths must produce some
+  // nonzero delays.
+  EXPECT_GT(ooo.count(), 1000u);
+  EXPECT_GT(ooo.max(), 0.0);
+  EXPECT_GE(ooo.min(), 0.0);
+}
+
+TEST(ConnectionTest, HomogeneousPathsLittleOoo) {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(5));
+  tb.lte = lte_profile(Rate::mbps(5));
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  conn->send(1'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(30));
+  // Rates are symmetric but base RTTs differ (16 vs 80 ms), so a small
+  // median reordering delay remains; it must stay well under the
+  // heterogeneous-bandwidth case (seconds).
+  EXPECT_LT(conn->ooo_delay().quantile(0.5), 0.3);
+}
+
+TEST(ConnectionTest, RwndAutotuneGrowsWithDelivery) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.rcv_autotune = true;
+  tb.conn.rcv_initial_window = 64 * 1024;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  EXPECT_EQ(conn->meta_rwnd(), 64 * 1024u);
+  BulkSender sender(*conn, 2'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(60));
+  EXPECT_GT(conn->meta_rwnd(), 1'000'000u);
+}
+
+TEST(ConnectionTest, RwndAutotuneDisabledUsesFullBuffer) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.rcv_autotune = false;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  EXPECT_EQ(conn->meta_rwnd(), tb.conn.rcvbuf_bytes);
+}
+
+TEST(ConnectionTest, MetaInflightBoundedByRwnd) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.rcv_autotune = true;
+  tb.conn.rcv_initial_window = 32 * 1024;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  conn->send(1'000'000);
+  // Immediately after the first scheduling round the meta inflight must not
+  // exceed the advertised window.
+  EXPECT_LE(conn->meta_inflight(), 32 * 1024u + kDefaultMss);
+}
+
+TEST(ConnectionTest, OpportunisticRetransmissionFiresUnderStall) {
+  TestbedConfig tb;
+  // Very slow wifi + fast LTE + small window: the wifi subflow blocks the
+  // meta window, forcing reinjection + penalization.
+  tb.wifi = wifi_profile(Rate::mbps(0.3));
+  tb.lte = lte_profile(Rate::mbps(10.0));
+  tb.conn.rcv_autotune = true;
+  tb.conn.rcv_initial_window = 64 * 1024;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  conn->send(3'000'000);
+  std::uint64_t queued = 3'000'000 - (3'000'000 - conn->sndbuf_free());
+  (void)queued;
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(40));
+  EXPECT_GT(conn->meta_stats().window_stalls, 0u);
+  EXPECT_GT(conn->meta_stats().reinjections, 0u);
+  // Penalization halved the blocking subflow at least once.
+  std::uint64_t penalizations = 0;
+  for (Subflow* sf : conn->subflows()) penalizations += sf->stats().penalizations;
+  EXPECT_GT(penalizations, 0u);
+}
+
+TEST(ConnectionTest, OpportunisticRetransmissionCanBeDisabled) {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(0.3));
+  tb.lte = lte_profile(Rate::mbps(10.0));
+  tb.conn.rcv_autotune = true;
+  tb.conn.rcv_initial_window = 64 * 1024;
+  tb.conn.opportunistic_retransmission = false;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  conn->send(3'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(20));
+  EXPECT_EQ(conn->meta_stats().reinjections, 0u);
+}
+
+TEST(ConnectionTest, DuplicatesDroppedAtMetaLevel) {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(0.3));
+  tb.lte = lte_profile(Rate::mbps(10.0));
+  tb.conn.rcv_autotune = true;
+  tb.conn.rcv_initial_window = 64 * 1024;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t b, TimePoint) { delivered += b; };
+  BulkSender sender(*conn, 2'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(120));
+  // Reinjection duplicates must not inflate delivery.
+  EXPECT_EQ(delivered, 2'000'000u);
+  EXPECT_GT(conn->meta_stats().reinjections, 0u);
+  EXPECT_GT(conn->meta_stats().duplicate_segments, 0u);
+}
+
+TEST(ConnectionTest, TwoConnectionsShareThePaths) {
+  Testbed bed(hetero_config());
+  auto a = bed.make_connection(scheduler_factory("default"));
+  auto b = bed.make_connection(scheduler_factory("ecf"));
+  std::uint64_t da = 0, db = 0;
+  a->on_deliver = [&](std::uint64_t x, TimePoint) { da += x; };
+  b->on_deliver = [&](std::uint64_t x, TimePoint) { db += x; };
+  BulkSender sa(*a, 300'000);
+  BulkSender sb(*b, 300'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(30));
+  EXPECT_EQ(da, 300'000u);
+  EXPECT_EQ(db, 300'000u);
+}
+
+TEST(ConnectionTest, CcSiblingInfoExposesAllSubflows) {
+  Testbed bed(hetero_config());
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  std::vector<CcSiblingInfo> info;
+  conn->cc_sibling_info(info);
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_EQ(info[0].subflow_id, 0u);
+  EXPECT_EQ(info[1].subflow_id, 1u);
+  EXPECT_GT(info[0].cwnd, 0.0);
+}
+
+TEST(ConnectionTest, FourSubflowsTwoPerPath) {
+  TestbedConfig tb = hetero_config();
+  tb.subflows_per_path = 2;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("ecf"));
+  EXPECT_EQ(conn->subflows().size(), 4u);
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t b, TimePoint) { delivered += b; };
+  BulkSender sender(*conn, 500'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(30));
+  EXPECT_EQ(delivered, 500'000u);
+}
+
+TEST(ConnectionTest, SecondarySubflowJoinsLate) {
+  TestbedConfig tb = hetero_config();
+  tb.conn.delayed_secondary_join = true;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  EXPECT_TRUE(conn->subflows()[0]->established());
+  EXPECT_FALSE(conn->subflows()[1]->established());
+  bed.sim().run_until(TimePoint::origin() + bed.lte().rtt_base() + Duration::millis(1));
+  EXPECT_TRUE(conn->subflows()[1]->established());
+}
+
+TEST(ConnectionTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Testbed bed(TestbedConfig{});
+    auto conn = bed.make_connection(scheduler_factory("ecf"));
+    conn->send(1'000'000);
+    bed.sim().run_until(TimePoint::origin() + Duration::seconds(10));
+    return std::make_tuple(conn->delivered_bytes(), conn->subflows()[0]->stats().bytes_sent,
+                           conn->subflows()[1]->stats().bytes_sent,
+                           bed.sim().events_processed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mps

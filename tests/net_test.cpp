@@ -1,0 +1,268 @@
+// Tests for src/net: links, paths, demux, bandwidth schedules, wild profiles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.h"
+#include "net/mux.h"
+#include "net/path.h"
+#include "net/varbw.h"
+#include "net/wild.h"
+#include "sim/simulator.h"
+
+namespace mps {
+namespace {
+
+Packet data_packet(std::uint32_t payload = 1428, std::uint64_t seq = 0) {
+  Packet p;
+  p.payload = payload;
+  p.subflow_seq = seq;
+  return p;
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  std::vector<std::pair<TimePoint, Packet>> delivered;
+
+  void attach(Link& link) {
+    link.set_deliver([this](Packet p) { delivered.emplace_back(sim.now(), p); });
+  }
+};
+
+TEST_F(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  LinkConfig cfg;
+  cfg.rate = Rate::mbps(8);  // 1488 bytes -> 1.488 ms
+  cfg.prop_delay = Duration::millis(10);
+  Link link(sim, cfg);
+  attach(link);
+
+  link.send(data_packet());
+  sim.run();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  const Duration expected = cfg.rate.transmit_time(1428 + kHeaderBytes) + cfg.prop_delay;
+  EXPECT_EQ((delivered[0].first - TimePoint::origin()).ns(), expected.ns());
+}
+
+TEST_F(LinkTest, SerializesBackToBack) {
+  LinkConfig cfg;
+  cfg.rate = Rate::mbps(8);
+  cfg.prop_delay = Duration::zero();
+  Link link(sim, cfg);
+  attach(link);
+
+  link.send(data_packet(1428, 1));
+  link.send(data_packet(1428, 2));
+  sim.run();
+
+  ASSERT_EQ(delivered.size(), 2u);
+  const Duration tx = cfg.rate.transmit_time(1428 + kHeaderBytes);
+  EXPECT_EQ((delivered[1].first - delivered[0].first).ns(), tx.ns());
+}
+
+TEST_F(LinkTest, PreservesFifoOrder) {
+  LinkConfig cfg;
+  Link link(sim, cfg);
+  attach(link);
+  for (std::uint64_t i = 0; i < 20; ++i) link.send(data_packet(1428, i));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(delivered[i].second.subflow_seq, i);
+}
+
+TEST_F(LinkTest, DropsWhenQueueFull) {
+  LinkConfig cfg;
+  cfg.queue_packets = 5;
+  Link link(sim, cfg);
+  attach(link);
+  // 1 in service + 5 queued fit; the rest drop.
+  for (int i = 0; i < 10; ++i) link.send(data_packet());
+  sim.run();
+  EXPECT_EQ(delivered.size(), 6u);
+  EXPECT_EQ(link.stats().drops_queue, 4u);
+  EXPECT_EQ(link.stats().packets_delivered, 6u);
+}
+
+TEST_F(LinkTest, RandomLossDropsApproximately) {
+  LinkConfig cfg;
+  cfg.rate = Rate::gbps(10);
+  cfg.loss_rate = 0.3;
+  cfg.queue_packets = 100000;
+  Link link(sim, cfg);
+  link.set_rng(Rng(123));
+  attach(link);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.send(data_packet());
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(link.stats().drops_random) / n, 0.3, 0.02);
+}
+
+TEST_F(LinkTest, ZeroLossNeverDrops) {
+  LinkConfig cfg;
+  cfg.rate = Rate::gbps(10);
+  cfg.queue_packets = 100000;
+  Link link(sim, cfg);
+  attach(link);
+  for (int i = 0; i < 5000; ++i) link.send(data_packet());
+  sim.run();
+  EXPECT_EQ(link.stats().drops_random, 0u);
+  EXPECT_EQ(link.stats().packets_delivered, 5000u);
+}
+
+TEST_F(LinkTest, RateChangeAppliesToNextTransmission) {
+  LinkConfig cfg;
+  cfg.rate = Rate::mbps(1);
+  cfg.prop_delay = Duration::zero();
+  Link link(sim, cfg);
+  attach(link);
+  link.send(data_packet());
+  link.set_rate(Rate::mbps(100));
+  link.send(data_packet());
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  const Duration first = delivered[0].first - TimePoint::origin();
+  const Duration second_tx = delivered[1].first - delivered[0].first;
+  // First at 1 Mbps (11.9 ms), second at 100 Mbps (0.119 ms).
+  EXPECT_NEAR(first.to_seconds(), 0.0119, 1e-4);
+  EXPECT_NEAR(second_tx.to_seconds(), 0.000119, 2e-5);
+}
+
+TEST_F(LinkTest, ZeroRateParksPacketUntilRateRestored) {
+  LinkConfig cfg;
+  cfg.rate = Rate::zero();
+  cfg.prop_delay = Duration::zero();
+  Link link(sim, cfg);
+  attach(link);
+  link.send(data_packet());
+  sim.after(Duration::millis(350), [&] { link.set_rate(Rate::mbps(100)); });
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_GE(delivered[0].first.to_seconds(), 0.35);
+  EXPECT_LT(delivered[0].first.to_seconds(), 0.6);
+}
+
+TEST(PathTest, ProfilesMatchPaperBaseRtts) {
+  EXPECT_LT(wifi_profile(Rate::mbps(8.6)).rtt_base, lte_profile(Rate::mbps(8.6)).rtt_base);
+  EXPECT_EQ(wifi_profile(Rate::mbps(1)).name, "wifi");
+  EXPECT_EQ(lte_profile(Rate::mbps(1)).name, "lte");
+}
+
+TEST(PathTest, DownAndUpShareBaseDelay) {
+  Simulator sim;
+  Path path(sim, wifi_profile(Rate::mbps(10)));
+  EXPECT_EQ(path.down().prop_delay().ns() + path.up().prop_delay().ns(),
+            path.rtt_base().ns());
+}
+
+TEST(PathTest, SetDownRate) {
+  Simulator sim;
+  Path path(sim, wifi_profile(Rate::mbps(10)));
+  path.set_down_rate(Rate::mbps(2.5));
+  EXPECT_DOUBLE_EQ(path.down_rate().to_mbps(), 2.5);
+}
+
+TEST(MuxTest, RoutesByConnId) {
+  Mux mux;
+  int a = 0, b = 0;
+  mux.add_route(1, [&](Packet) { ++a; });
+  mux.add_route(2, [&](Packet) { ++b; });
+  Packet p;
+  p.conn_id = 1;
+  mux.dispatch(p);
+  p.conn_id = 2;
+  mux.dispatch(p);
+  mux.dispatch(p);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(MuxTest, OrphansCountedNotCrashed) {
+  Mux mux;
+  Packet p;
+  p.conn_id = 42;
+  mux.dispatch(p);
+  EXPECT_EQ(mux.orphan_count(), 1u);
+}
+
+TEST(MuxTest, RemoveRouteOrphansLatePackets) {
+  Mux mux;
+  int hits = 0;
+  mux.add_route(7, [&](Packet) { ++hits; });
+  mux.remove_route(7);
+  Packet p;
+  p.conn_id = 7;
+  mux.dispatch(p);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(mux.orphan_count(), 1u);
+}
+
+TEST(VarBwTest, ScheduleAppliesRatesAtOffsets) {
+  Simulator sim;
+  Path path(sim, wifi_profile(Rate::mbps(1)));
+  BandwidthSchedule sched(sim, path,
+                          {{Duration::zero(), Rate::mbps(2)},
+                           {Duration::seconds(1), Rate::mbps(5)},
+                           {Duration::seconds(2), Rate::mbps(3)}});
+  sched.start();
+  sim.run_until(TimePoint::origin() + Duration::millis(500));
+  EXPECT_DOUBLE_EQ(path.down_rate().to_mbps(), 2.0);
+  sim.run_until(TimePoint::origin() + Duration::millis(1500));
+  EXPECT_DOUBLE_EQ(path.down_rate().to_mbps(), 5.0);
+  sim.run_until(TimePoint::origin() + Duration::millis(2500));
+  EXPECT_DOUBLE_EQ(path.down_rate().to_mbps(), 3.0);
+}
+
+TEST(VarBwTest, RandomTraceCoversDurationAndLevels) {
+  Rng rng(5);
+  const std::vector<Rate> levels = {Rate::mbps(0.3), Rate::mbps(1.1), Rate::mbps(8.6)};
+  const auto trace = make_random_bandwidth_trace(rng, levels, Duration::seconds(40),
+                                                 Duration::seconds(1200));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front().at.ns(), 0);
+  EXPECT_LT(trace.back().at, Duration::seconds(1200));
+  for (const auto& c : trace) {
+    bool known = false;
+    for (const Rate& l : levels) known = known || l.bps() == c.rate.bps();
+    EXPECT_TRUE(known);
+  }
+  // Mean interval ~40 s over 1200 s -> ~30 changes; generously bounded.
+  EXPECT_GT(trace.size(), 10u);
+  EXPECT_LT(trace.size(), 90u);
+}
+
+TEST(VarBwTest, TraceIsDeterministicPerSeed) {
+  const std::vector<Rate> levels = {Rate::mbps(1), Rate::mbps(2)};
+  Rng a(9), b(9);
+  const auto ta = make_random_bandwidth_trace(a, levels, Duration::seconds(40),
+                                              Duration::seconds(600));
+  const auto tb = make_random_bandwidth_trace(b, levels, Duration::seconds(40),
+                                              Duration::seconds(600));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at.ns(), tb[i].at.ns());
+    EXPECT_EQ(ta[i].rate.bps(), tb[i].rate.bps());
+  }
+}
+
+TEST(WildTest, NineRunsSortedByWifiRtt) {
+  const auto runs = wild_streaming_runs();
+  ASSERT_EQ(runs.size(), 9u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_GT(runs[i].wifi.rtt_base, runs[i - 1].wifi.rtt_base);
+    EXPECT_EQ(runs[i].run_index, static_cast<int>(i) + 1);
+  }
+  // LTE stays roughly constant (paper Fig. 22a).
+  for (const auto& r : runs) {
+    EXPECT_EQ(r.lte.rtt_base.ns(), Duration::millis(70).ns());
+  }
+}
+
+TEST(WildTest, WebProfileIsHeterogeneous) {
+  const auto p = wild_web_profile();
+  EXPECT_GT(p.wifi.rtt_base, p.lte.rtt_base);
+  EXPECT_LT(p.wifi.down_rate.to_mbps(), p.lte.down_rate.to_mbps());
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,207 @@
+// Tests for the discrete-event kernel: ordering, cancellation, timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace mps {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::from_ns(30), [&] { order.push_back(3); });
+  q.schedule(TimePoint::from_ns(10), [&] { order.push_back(1); });
+  q.schedule(TimePoint::from_ns(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(TimePoint::from_ns(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(TimePoint::from_ns(10), [&] { ++fired; });
+  q.schedule(TimePoint::from_ns(20), [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelUnknownIsNoop) {
+  EventQueue q;
+  q.cancel(12345);
+  q.cancel(kInvalidEventId);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(TimePoint::from_ns(5), [] {});
+  q.schedule(TimePoint::from_ns(50), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time().ns(), 50);
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(TimePoint::from_ns(5), [] {});
+  const EventId b = q.schedule(TimePoint::from_ns(9), [] {});
+  q.cancel(b);  // cancel a non-top entry first
+  q.cancel(a);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.next_time().is_never());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  TimePoint seen;
+  sim.after(Duration::millis(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns(), Duration::millis(7).ns());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Duration::millis(1), [&] { ++fired; });
+  sim.after(Duration::millis(100), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), Duration::millis(10).ns());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsAtDeadlineRun) {
+  Simulator sim;
+  bool fired = false;
+  sim.after(Duration::millis(10), [&] { fired = true; });
+  sim.run_until(TimePoint::origin() + Duration::millis(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.after(Duration::millis(5), [&] {
+    EXPECT_THROW(sim.at(TimePoint::origin(), [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallback) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Duration::millis(1), [&] {
+    order.push_back(1);
+    sim.after(Duration::millis(1), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now().ns(), Duration::millis(2).ns());
+}
+
+TEST(SimulatorTest, PostRunsAtCurrentTimeAfterQueued) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Duration::millis(1), [&] {
+    sim.post([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RequestStopBreaksRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Duration::millis(1), [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.after(Duration::millis(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Duration::millis(1), [&] { ++fired; });
+  sim.after(Duration::millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerTest, ReschedulingCancelsPrevious) {
+  Simulator sim;
+  Timer timer(sim);
+  int fired = 0;
+  timer.schedule_after(Duration::millis(5), [&] { fired = 5; });
+  timer.schedule_after(Duration::millis(2), [&] { fired = 2; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerTest, CancelPreventsFire) {
+  Simulator sim;
+  Timer timer(sim);
+  bool fired = false;
+  timer.schedule_after(Duration::millis(5), [&] { fired = true; });
+  timer.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerTest, DestructorCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Timer timer(sim);
+    timer.schedule_after(Duration::millis(5), [&] { fired = true; });
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerTest, PendingAndDeadline) {
+  Simulator sim;
+  Timer timer(sim);
+  EXPECT_FALSE(timer.pending());
+  timer.schedule_after(Duration::millis(3), [] {});
+  EXPECT_TRUE(timer.pending());
+  EXPECT_EQ(timer.deadline().ns(), Duration::millis(3).ns());
+  sim.run();
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerTest, CanRescheduleFromOwnCallback) {
+  Simulator sim;
+  Timer timer(sim);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 3) timer.schedule_after(Duration::millis(1), tick);
+  };
+  timer.schedule_after(Duration::millis(1), tick);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,315 @@
+// Tests for src/tcp: RTT estimation and the Subflow sender state machine,
+// driven through a real path + receiver loop.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "tcp/cc_reno.h"
+#include "tcp/rtt.h"
+#include "tcp/subflow.h"
+
+namespace mps {
+namespace {
+
+// --- RttEstimator -----------------------------------------------------------
+
+TEST(RttEstimatorTest, FirstSamplePerRfc6298) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(100));
+  EXPECT_EQ(est.srtt().ns(), Duration::millis(100).ns());
+  EXPECT_EQ(est.rttvar().ns(), Duration::millis(50).ns());
+  // RTO = 100 + 4*50 = 300 ms.
+  EXPECT_EQ(est.rto().ns(), Duration::millis(300).ns());
+}
+
+TEST(RttEstimatorTest, EwmaSmoothing) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(100));
+  est.add_sample(Duration::millis(200));
+  // srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_NEAR(est.srtt().to_millis(), 112.5, 0.01);
+  // rttvar = 3/4*50 + 1/4*|200-100| = 62.5 ms
+  EXPECT_NEAR(est.rttvar().to_millis(), 62.5, 0.01);
+}
+
+TEST(RttEstimatorTest, RtoClampedToMinimum) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.add_sample(Duration::millis(10));
+  EXPECT_EQ(est.rto().ns(), Duration::millis(200).ns());  // TCP_RTO_MIN
+}
+
+TEST(RttEstimatorTest, InitialRtoOneSecond) {
+  RttEstimator est;
+  EXPECT_EQ(est.rto().ns(), Duration::seconds(1).ns());
+}
+
+TEST(RttEstimatorTest, MinAndLifetimeTrackAllSamples) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(30));
+  est.add_sample(Duration::millis(10));
+  est.add_sample(Duration::millis(20));
+  EXPECT_EQ(est.min_rtt().ns(), Duration::millis(10).ns());
+  EXPECT_EQ(est.lifetime().count(), 3u);
+  EXPECT_NEAR(est.lifetime().mean(), 0.020, 1e-9);
+}
+
+TEST(RttEstimatorTest, StddevReflectsVariability) {
+  RttEstimator stable, jittery;
+  for (int i = 0; i < 16; ++i) {
+    stable.add_sample(Duration::millis(100));
+    jittery.add_sample(Duration::millis(i % 2 == 0 ? 50 : 150));
+  }
+  EXPECT_LT(stable.stddev().to_seconds(), 1e-6);
+  EXPECT_GT(jittery.stddev().to_seconds(), 0.04);
+}
+
+TEST(RttEstimatorTest, NegativeSampleIgnored) {
+  RttEstimator est;
+  est.add_sample(Duration::millis(-5));
+  EXPECT_FALSE(est.has_sample());
+}
+
+// --- Subflow harness ---------------------------------------------------------
+
+// Minimal meta sink: acks everything immediately at the meta level.
+class FakeSink final : public MetaSink {
+ public:
+  void on_subflow_deliver(std::uint32_t, std::uint64_t data_seq, std::uint32_t payload,
+                          TimePoint) override {
+    delivered_bytes += payload;
+    data_ack = std::max(data_ack, data_seq + payload);
+  }
+  std::uint64_t meta_data_ack() const override { return data_ack; }
+  std::uint64_t meta_rwnd() const override { return 64 << 20; }
+
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t data_ack = 0;
+};
+
+class SubflowHarness {
+ public:
+  explicit SubflowHarness(PathConfig path_config = wifi_profile(Rate::mbps(10)),
+                          SubflowConfig sf_config = {})
+      : path(sim, path_config),
+        receiver(sim, 0, 0, path, &sink),
+        subflow(sim, sf_config, path, std::make_unique<RenoCc>(), nullptr) {
+    path.down().set_deliver([this](Packet p) { receiver.on_data_packet(p); });
+    path.up().set_deliver([this](Packet p) { subflow.on_ack_packet(p); });
+  }
+
+  // Sends as much of [next_data_seq, total) as CWND allows; call repeatedly.
+  void pump(std::uint64_t total_bytes) {
+    while (subflow.can_send() && next_data_seq < total_bytes) {
+      const std::uint32_t payload = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(subflow.mss(), total_bytes - next_data_seq));
+      subflow.send_segment(next_data_seq, payload);
+      next_data_seq += payload;
+    }
+  }
+
+  // Runs the transfer of `total` bytes to completion (with periodic
+  // pumping); the clock stops at delivery of the last byte.
+  void transfer(std::uint64_t total, Duration deadline = Duration::seconds(120)) {
+    std::function<void()> driver = [this, total, &driver] {
+      if (sink.delivered_bytes >= total) {
+        sim.request_stop();
+        return;
+      }
+      pump(total);
+      sim.after(Duration::millis(1), driver);
+    };
+    driver();
+    sim.run_until(TimePoint::origin() + deadline);
+  }
+
+  Simulator sim;
+  FakeSink sink;
+  Path path;
+  SubflowReceiver receiver;
+  Subflow subflow;
+  std::uint64_t next_data_seq = 0;
+};
+
+TEST(SubflowTest, SlowStartDoublesPerRtt) {
+  SubflowHarness h;
+  h.pump(10 * 1428);  // exactly IW
+  EXPECT_FALSE(h.subflow.can_send());
+  // One RTT plus the 10-segment serialization time, with margin.
+  h.sim.run_until(TimePoint::origin() + h.path.rtt_base() + Duration::millis(25));
+  // All 10 acked, +1 per ack in slow start.
+  EXPECT_NEAR(h.subflow.cwnd(), 20.0, 0.01);
+  EXPECT_EQ(h.subflow.inflight_segments(), 0u);
+}
+
+TEST(SubflowTest, TransferCompletesAtApproximatelyLinkRate) {
+  SubflowHarness h(wifi_profile(Rate::mbps(10)));
+  const std::uint64_t total = 4 * 1024 * 1024;
+  h.transfer(total);
+  ASSERT_EQ(h.sink.delivered_bytes, total);
+  const double secs = h.sim.now().to_seconds();
+  const double goodput_mbps = total * 8.0 / secs / 1e6;
+  // Within 70-100% of the regulated 10 Mbps (slow start + header overhead).
+  EXPECT_GT(goodput_mbps, 7.0);
+  EXPECT_LT(goodput_mbps, 10.0);
+}
+
+TEST(SubflowTest, RttSamplesTrackPathRtt) {
+  SubflowHarness h(wifi_profile(Rate::mbps(10)));
+  h.transfer(200 * 1428);
+  EXPECT_GT(h.subflow.stats().rtt_samples, 50u);
+  // Base RTT 16 ms + queueing; srtt must be in a sane band.
+  EXPECT_GT(h.subflow.srtt().to_millis(), 15.0);
+  EXPECT_LT(h.subflow.srtt().to_millis(), 150.0);
+}
+
+TEST(SubflowTest, LossTriggersFastRecoveryNotRto) {
+  PathConfig pc = wifi_profile(Rate::mbps(10));
+  pc.queue_packets = 8;  // force overflow during slow start
+  SubflowHarness h(pc);
+  h.transfer(1000 * 1428);
+  EXPECT_EQ(h.sink.delivered_bytes, 1000u * 1428u);
+  EXPECT_GT(h.subflow.stats().fast_retransmits, 0u);
+  EXPECT_EQ(h.subflow.stats().rto_events, 0u);
+  EXPECT_GT(h.subflow.stats().retransmits, 0u);
+}
+
+TEST(SubflowTest, AllBytesDeliveredDespiteRandomLoss) {
+  PathConfig pc = wifi_profile(Rate::mbps(10));
+  pc.loss_rate = 0.02;
+  SubflowHarness h(pc);
+  h.path.down().set_rng(Rng(7));
+  h.transfer(2000 * 1428, Duration::seconds(300));
+  EXPECT_EQ(h.sink.delivered_bytes, 2000u * 1428u);
+  EXPECT_GT(h.subflow.stats().retransmits, 10u);
+}
+
+TEST(SubflowTest, TailLossRecoveredByRto) {
+  SubflowHarness h;
+  // Send 5 segments; drop the last by shrinking the queue mid-flight is
+  // fiddly — instead use a lossy one-shot: set 100% loss for the last send.
+  h.pump(4 * 1428);
+  h.path.down().set_loss_rate(1.0);
+  h.path.down().set_rng(Rng(1));
+  h.subflow.send_segment(4 * 1428, 1428);
+  h.path.down().set_loss_rate(0.0);
+  h.sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(h.sink.delivered_bytes, 5u * 1428u);
+  EXPECT_GE(h.subflow.stats().rto_events, 1u);
+}
+
+TEST(SubflowTest, IdleResetRestoresInitialWindowAndKeepsSsthreshMemory) {
+  SubflowConfig sc;
+  sc.idle_cwnd_reset = true;
+  SubflowHarness h(wifi_profile(Rate::mbps(10)), sc);
+  h.transfer(500 * 1428);
+  h.sim.run();  // drain in-flight acks so the window is quiescent
+  const double cwnd_before = h.subflow.cwnd();
+  ASSERT_GT(cwnd_before, 20.0);
+
+  // Go idle well past the RTO, then poll (as the connection does).
+  h.sim.run_until(h.sim.now() + Duration::seconds(5));
+  h.subflow.poll();
+  EXPECT_NEAR(h.subflow.cwnd(), 10.0, 0.01);
+  EXPECT_EQ(h.subflow.stats().idle_resets, 1u);
+  // RFC 2861: ssthresh remembers 3/4 of the achieved window.
+  EXPECT_GE(h.subflow.ssthresh(), 0.75 * cwnd_before - 0.01);
+  EXPECT_TRUE(h.subflow.in_slow_start());
+}
+
+TEST(SubflowTest, IdleResetDisabledKeepsWindow) {
+  SubflowConfig sc;
+  sc.idle_cwnd_reset = false;
+  SubflowHarness h(wifi_profile(Rate::mbps(10)), sc);
+  h.transfer(500 * 1428);
+  h.sim.run();  // drain in-flight acks so the window is quiescent
+  const double cwnd_before = h.subflow.cwnd();
+  h.sim.run_until(h.sim.now() + Duration::seconds(5));
+  h.subflow.poll();
+  EXPECT_DOUBLE_EQ(h.subflow.cwnd(), cwnd_before);
+  EXPECT_EQ(h.subflow.stats().idle_resets, 0u);
+}
+
+TEST(SubflowTest, IdleResetCountedOncePerIdlePeriod) {
+  SubflowHarness h;
+  h.transfer(500 * 1428);
+  h.sim.run_until(h.sim.now() + Duration::seconds(5));
+  h.subflow.poll();
+  h.subflow.poll();
+  h.subflow.poll();
+  EXPECT_EQ(h.subflow.stats().idle_resets, 1u);
+}
+
+TEST(SubflowTest, PenalizeHalvesCwndOncePerRtt) {
+  SubflowHarness h;
+  h.transfer(500 * 1428);
+  const double before = h.subflow.cwnd();
+  h.subflow.penalize();
+  EXPECT_NEAR(h.subflow.cwnd(), before / 2, 0.01);
+  h.subflow.penalize();  // rate-limited: no further halving within one RTT
+  EXPECT_NEAR(h.subflow.cwnd(), before / 2, 0.01);
+  EXPECT_EQ(h.subflow.stats().penalizations, 1u);
+}
+
+TEST(SubflowTest, JoinDelayGatesEstablishment) {
+  SubflowConfig sc;
+  sc.join_delay = Duration::millis(80);
+  Simulator sim;
+  Path path(sim, lte_profile(Rate::mbps(10)));
+  Subflow sf(sim, sc, path, std::make_unique<RenoCc>(), nullptr);
+  EXPECT_FALSE(sf.established());
+  EXPECT_FALSE(sf.can_send());
+  sim.run_until(TimePoint::origin() + Duration::millis(81));
+  EXPECT_TRUE(sf.established());
+  EXPECT_TRUE(sf.can_send());
+}
+
+TEST(SubflowTest, RttEstimateFallsBackToPathBase) {
+  Simulator sim;
+  Path path(sim, lte_profile(Rate::mbps(10)));
+  Subflow sf(sim, SubflowConfig{}, path, std::make_unique<RenoCc>(), nullptr);
+  EXPECT_EQ(sf.rtt_estimate().ns(), path.rtt_base().ns());
+}
+
+TEST(SubflowTest, AvailableCwndNeverNegative) {
+  SubflowHarness h;
+  h.pump(10 * 1428);
+  EXPECT_GE(h.subflow.available_cwnd(), 0);
+  EXPECT_EQ(h.subflow.inflight_segments(), 10u);
+}
+
+TEST(SubflowTest, ByteCountersTrackOriginalTransmissionsOnly) {
+  SubflowHarness h;
+  h.transfer(100 * 1428);
+  EXPECT_EQ(h.subflow.stats().segments_sent, 100u);
+  EXPECT_EQ(h.subflow.stats().bytes_sent, 100u * 1428u);
+  EXPECT_EQ(h.subflow.stats().reinjected_segments, 0u);
+}
+
+TEST(SubflowTest, ReceiverDeliversSubflowInOrderAfterLoss) {
+  PathConfig pc = wifi_profile(Rate::mbps(10));
+  pc.queue_packets = 6;
+  SubflowHarness h(pc);
+  std::vector<std::uint64_t> seqs;
+  // Track order at the sink via a richer sink: replace deliver hook by
+  // checking monotone data_ack growth instead.
+  h.transfer(500 * 1428);
+  EXPECT_EQ(h.sink.data_ack, 500u * 1428u);
+  EXPECT_EQ(h.receiver.ooo_held(), 0u);
+}
+
+TEST(SubflowTest, CwndNotInflatedWhenAppLimited) {
+  SubflowHarness h;
+  // Trickle one segment per RTT: app-limited, cwnd must stay near IW even
+  // though every ack succeeds.
+  for (int i = 0; i < 30; ++i) {
+    h.subflow.send_segment(static_cast<std::uint64_t>(i) * 1428, 1428);
+    h.sim.run_until(h.sim.now() + Duration::millis(40));
+  }
+  EXPECT_LT(h.subflow.cwnd(), 13.0);
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,31 @@
+// Shared test helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "mptcp/connection.h"
+
+namespace mps {
+
+// Streams `total` bytes through a connection's bounded send buffer, refilling
+// from on_sendable as space frees (what a real sending application does).
+class BulkSender {
+ public:
+  BulkSender(Connection& conn, std::uint64_t total) : conn_(conn), remaining_(total) {
+    conn_.on_sendable = [this] { push(); };
+    push();
+  }
+
+  void push() {
+    if (remaining_ == 0) return;
+    remaining_ -= conn_.send(remaining_);
+  }
+
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  Connection& conn_;
+  std::uint64_t remaining_;
+};
+
+}  // namespace mps

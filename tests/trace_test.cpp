@@ -1,0 +1,119 @@
+// Tests for the trace module: time series, collectors, text emitters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/collect.h"
+#include "trace/emit.h"
+#include "trace/series.h"
+
+namespace mps {
+namespace {
+
+TEST(TimeSeriesTest, StepInterpolation) {
+  TimeSeries ts;
+  ts.add(TimePoint::from_ns(0), 1.0);
+  ts.add(TimePoint::origin() + Duration::seconds(10), 5.0);
+  EXPECT_DOUBLE_EQ(ts.at(TimePoint::origin() + Duration::seconds(5)), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(TimePoint::origin() + Duration::seconds(10)), 5.0);
+  EXPECT_DOUBLE_EQ(ts.at(TimePoint::origin() + Duration::seconds(50)), 5.0);
+}
+
+TEST(TimeSeriesTest, TimeMeanWeightsDurations) {
+  TimeSeries ts;
+  ts.add(TimePoint::from_ns(0), 0.0);
+  ts.add(TimePoint::origin() + Duration::seconds(5), 10.0);
+  // Over [0, 10): 5 s at 0 plus 5 s at 10 -> mean 5.
+  EXPECT_DOUBLE_EQ(
+      ts.time_mean(TimePoint::origin(), TimePoint::origin() + Duration::seconds(10)), 5.0);
+}
+
+TEST(TimeSeriesTest, TimeMeanWithValueBeforeWindow) {
+  TimeSeries ts;
+  ts.add(TimePoint::from_ns(0), 3.0);
+  const TimePoint from = TimePoint::origin() + Duration::seconds(100);
+  EXPECT_DOUBLE_EQ(ts.time_mean(from, from + Duration::seconds(10)), 3.0);
+}
+
+TEST(TimeSeriesTest, MaxValue) {
+  TimeSeries ts;
+  ts.add(TimePoint::from_ns(0), 2.0);
+  ts.add(TimePoint::from_ns(5), 9.0);
+  ts.add(TimePoint::from_ns(9), 4.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 9.0);
+}
+
+TEST(PeriodicSamplerTest, SamplesAtInterval) {
+  Simulator sim;
+  double value = 1.0;
+  PeriodicSampler sampler(sim, Duration::millis(100), [&] { return value; });
+  sim.after(Duration::millis(250), [&] { value = 7.0; });
+  sim.run_until(TimePoint::origin() + Duration::millis(520));
+  // Samples at 0, 100, 200, 300, 400, 500 ms.
+  EXPECT_EQ(sampler.series().size(), 6u);
+  EXPECT_DOUBLE_EQ(sampler.series().points()[2].value, 1.0);
+  EXPECT_DOUBLE_EQ(sampler.series().points()[3].value, 7.0);
+}
+
+TEST(EmitTest, HeatmapContainsLabelsAndShades) {
+  std::ostringstream os;
+  print_heatmap(os, "Test map", "lte", "wifi", {"0.3", "8.6"}, {"0.3", "8.6"},
+                [](std::size_t r, std::size_t c) { return r == c ? 1.0 : 0.1; });
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Test map"), std::string::npos);
+  EXPECT_NE(out.find("8.6"), std::string::npos);
+  EXPECT_NE(out.find("1.00#"), std::string::npos);  // dark shade for 1.0
+  EXPECT_NE(out.find("0.10"), std::string::npos);
+}
+
+TEST(EmitTest, DistributionPrintsCcdfValues) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i * 0.01);
+  std::ostringstream os;
+  print_distribution(os, "dist", "delay", {{"x", &s}}, /*ccdf=*/true, {0.5, 1.0});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("CCDF"), std::string::npos);
+  EXPECT_NE(out.find("0.50000"), std::string::npos);  // P(X > 0.5)
+}
+
+TEST(EmitTest, MakeXGridCoversQuantileCap) {
+  Samples s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  const auto grid = make_x_grid({{"s", &s}}, 10, 0.999);
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_NEAR(grid.back(), 999.0, 1.5);
+  EXPECT_LT(grid.front(), grid.back());
+}
+
+TEST(EmitTest, GroupedTableShape) {
+  std::ostringstream os;
+  print_grouped(os, "tbl", "pair", {"0.3-8.6", "8.6-8.6"}, {"default", "ecf"},
+                [](std::size_t g, std::size_t s) { return static_cast<double>(g * 10 + s); });
+  const std::string out = os.str();
+  EXPECT_NE(out.find("0.3-8.6"), std::string::npos);
+  EXPECT_NE(out.find("ecf"), std::string::npos);
+  EXPECT_NE(out.find("11.000"), std::string::npos);
+}
+
+TEST(EmitTest, TraceBucketsSeries) {
+  TimeSeries ts;
+  ts.add(TimePoint::from_ns(0), 5.0);
+  std::ostringstream os;
+  print_trace(os, "trace", {{"cwnd", &ts}}, Duration::seconds(1), TimePoint::origin(),
+              TimePoint::origin() + Duration::seconds(3));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cwnd"), std::string::npos);
+  EXPECT_NE(out.find("5.00"), std::string::npos);
+}
+
+TEST(EmitTest, HeaderMentionsScale) {
+  std::ostringstream os;
+  print_header(os, "bench_fig09", "paper Fig. 9", "quick scale");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("bench_fig09"), std::string::npos);
+  EXPECT_NE(out.find("paper Fig. 9"), std::string::npos);
+  EXPECT_NE(out.find("quick scale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mps
