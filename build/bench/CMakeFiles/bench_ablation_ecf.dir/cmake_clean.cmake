@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ecf.dir/bench_ablation_ecf.cpp.o"
+  "CMakeFiles/bench_ablation_ecf.dir/bench_ablation_ecf.cpp.o.d"
+  "bench_ablation_ecf"
+  "bench_ablation_ecf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

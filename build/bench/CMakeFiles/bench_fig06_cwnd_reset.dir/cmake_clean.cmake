@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_cwnd_reset.dir/bench_fig06_cwnd_reset.cpp.o"
+  "CMakeFiles/bench_fig06_cwnd_reset.dir/bench_fig06_cwnd_reset.cpp.o.d"
+  "bench_fig06_cwnd_reset"
+  "bench_fig06_cwnd_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_cwnd_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_traffic_split_default.dir/bench_fig07_traffic_split_default.cpp.o"
+  "CMakeFiles/bench_fig07_traffic_split_default.dir/bench_fig07_traffic_split_default.cpp.o.d"
+  "bench_fig07_traffic_split_default"
+  "bench_fig07_traffic_split_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_traffic_split_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scheduler_heatmaps.dir/bench_fig09_scheduler_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig09_scheduler_heatmaps.dir/bench_fig09_scheduler_heatmaps.cpp.o.d"
+  "bench_fig09_scheduler_heatmaps"
+  "bench_fig09_scheduler_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scheduler_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

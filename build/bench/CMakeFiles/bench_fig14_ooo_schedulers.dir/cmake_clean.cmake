@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ooo_schedulers.dir/bench_fig14_ooo_schedulers.cpp.o"
+  "CMakeFiles/bench_fig14_ooo_schedulers.dir/bench_fig14_ooo_schedulers.cpp.o.d"
+  "bench_fig14_ooo_schedulers"
+  "bench_fig14_ooo_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ooo_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

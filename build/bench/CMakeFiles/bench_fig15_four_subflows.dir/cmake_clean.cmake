@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_four_subflows.dir/bench_fig15_four_subflows.cpp.o"
+  "CMakeFiles/bench_fig15_four_subflows.dir/bench_fig15_four_subflows.cpp.o.d"
+  "bench_fig15_four_subflows"
+  "bench_fig15_four_subflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_four_subflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_wget.dir/bench_fig18_wget.cpp.o"
+  "CMakeFiles/bench_fig18_wget.dir/bench_fig18_wget.cpp.o.d"
+  "bench_fig18_wget"
+  "bench_fig18_wget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_wget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_web_completion.dir/bench_fig20_web_completion.cpp.o"
+  "CMakeFiles/bench_fig20_web_completion.dir/bench_fig20_web_completion.cpp.o.d"
+  "bench_fig20_web_completion"
+  "bench_fig20_web_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_web_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

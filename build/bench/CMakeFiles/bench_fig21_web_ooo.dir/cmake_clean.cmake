@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_web_ooo.dir/bench_fig21_web_ooo.cpp.o"
+  "CMakeFiles/bench_fig21_web_ooo.dir/bench_fig21_web_ooo.cpp.o.d"
+  "bench_fig21_web_ooo"
+  "bench_fig21_web_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_web_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

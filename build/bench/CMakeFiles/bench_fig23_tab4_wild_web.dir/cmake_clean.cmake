@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_tab4_wild_web.dir/bench_fig23_tab4_wild_web.cpp.o"
+  "CMakeFiles/bench_fig23_tab4_wild_web.dir/bench_fig23_tab4_wild_web.cpp.o.d"
+  "bench_fig23_tab4_wild_web"
+  "bench_fig23_tab4_wild_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_tab4_wild_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

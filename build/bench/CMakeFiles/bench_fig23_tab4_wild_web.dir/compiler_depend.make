@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig23_tab4_wild_web.
+# This may be replaced when dependencies are built.

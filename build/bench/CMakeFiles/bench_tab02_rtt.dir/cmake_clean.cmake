@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_rtt.dir/bench_tab02_rtt.cpp.o"
+  "CMakeFiles/bench_tab02_rtt.dir/bench_tab02_rtt.cpp.o.d"
+  "bench_tab02_rtt"
+  "bench_tab02_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

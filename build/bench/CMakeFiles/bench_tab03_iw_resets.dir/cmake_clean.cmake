@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_iw_resets.dir/bench_tab03_iw_resets.cpp.o"
+  "CMakeFiles/bench_tab03_iw_resets.dir/bench_tab03_iw_resets.cpp.o.d"
+  "bench_tab03_iw_resets"
+  "bench_tab03_iw_resets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_iw_resets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_download.dir/file_download.cpp.o"
+  "CMakeFiles/file_download.dir/file_download.cpp.o.d"
+  "file_download"
+  "file_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_app.dir/dash.cpp.o"
+  "CMakeFiles/mps_app.dir/dash.cpp.o.d"
+  "CMakeFiles/mps_app.dir/http.cpp.o"
+  "CMakeFiles/mps_app.dir/http.cpp.o.d"
+  "CMakeFiles/mps_app.dir/web.cpp.o"
+  "CMakeFiles/mps_app.dir/web.cpp.o.d"
+  "libmps_app.a"
+  "libmps_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_core.dir/ecf.cpp.o"
+  "CMakeFiles/mps_core.dir/ecf.cpp.o.d"
+  "CMakeFiles/mps_core.dir/scheduler_util.cpp.o"
+  "CMakeFiles/mps_core.dir/scheduler_util.cpp.o.d"
+  "libmps_core.a"
+  "libmps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

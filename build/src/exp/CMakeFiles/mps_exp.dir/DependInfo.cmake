@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/download.cpp" "src/exp/CMakeFiles/mps_exp.dir/download.cpp.o" "gcc" "src/exp/CMakeFiles/mps_exp.dir/download.cpp.o.d"
+  "/root/repo/src/exp/scale.cpp" "src/exp/CMakeFiles/mps_exp.dir/scale.cpp.o" "gcc" "src/exp/CMakeFiles/mps_exp.dir/scale.cpp.o.d"
+  "/root/repo/src/exp/streaming.cpp" "src/exp/CMakeFiles/mps_exp.dir/streaming.cpp.o" "gcc" "src/exp/CMakeFiles/mps_exp.dir/streaming.cpp.o.d"
+  "/root/repo/src/exp/testbed.cpp" "src/exp/CMakeFiles/mps_exp.dir/testbed.cpp.o" "gcc" "src/exp/CMakeFiles/mps_exp.dir/testbed.cpp.o.d"
+  "/root/repo/src/exp/webrun.cpp" "src/exp/CMakeFiles/mps_exp.dir/webrun.cpp.o" "gcc" "src/exp/CMakeFiles/mps_exp.dir/webrun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/mps_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mps_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mps_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

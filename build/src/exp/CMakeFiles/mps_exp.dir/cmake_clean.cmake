@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_exp.dir/download.cpp.o"
+  "CMakeFiles/mps_exp.dir/download.cpp.o.d"
+  "CMakeFiles/mps_exp.dir/scale.cpp.o"
+  "CMakeFiles/mps_exp.dir/scale.cpp.o.d"
+  "CMakeFiles/mps_exp.dir/streaming.cpp.o"
+  "CMakeFiles/mps_exp.dir/streaming.cpp.o.d"
+  "CMakeFiles/mps_exp.dir/testbed.cpp.o"
+  "CMakeFiles/mps_exp.dir/testbed.cpp.o.d"
+  "CMakeFiles/mps_exp.dir/webrun.cpp.o"
+  "CMakeFiles/mps_exp.dir/webrun.cpp.o.d"
+  "libmps_exp.a"
+  "libmps_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

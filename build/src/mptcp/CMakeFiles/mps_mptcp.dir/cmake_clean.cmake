@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_mptcp.dir/connection.cpp.o"
+  "CMakeFiles/mps_mptcp.dir/connection.cpp.o.d"
+  "libmps_mptcp.a"
+  "libmps_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_net.dir/link.cpp.o"
+  "CMakeFiles/mps_net.dir/link.cpp.o.d"
+  "CMakeFiles/mps_net.dir/path.cpp.o"
+  "CMakeFiles/mps_net.dir/path.cpp.o.d"
+  "CMakeFiles/mps_net.dir/varbw.cpp.o"
+  "CMakeFiles/mps_net.dir/varbw.cpp.o.d"
+  "CMakeFiles/mps_net.dir/wild.cpp.o"
+  "CMakeFiles/mps_net.dir/wild.cpp.o.d"
+  "libmps_net.a"
+  "libmps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

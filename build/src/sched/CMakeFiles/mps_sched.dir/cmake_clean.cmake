@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_sched.dir/blest.cpp.o"
+  "CMakeFiles/mps_sched.dir/blest.cpp.o.d"
+  "CMakeFiles/mps_sched.dir/daps.cpp.o"
+  "CMakeFiles/mps_sched.dir/daps.cpp.o.d"
+  "CMakeFiles/mps_sched.dir/registry.cpp.o"
+  "CMakeFiles/mps_sched.dir/registry.cpp.o.d"
+  "libmps_sched.a"
+  "libmps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

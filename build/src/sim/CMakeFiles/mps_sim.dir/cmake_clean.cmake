@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mps_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mps_sim.dir/simulator.cpp.o.d"
+  "libmps_sim.a"
+  "libmps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

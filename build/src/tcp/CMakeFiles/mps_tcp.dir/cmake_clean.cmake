@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_tcp.dir/cc.cpp.o"
+  "CMakeFiles/mps_tcp.dir/cc.cpp.o.d"
+  "CMakeFiles/mps_tcp.dir/rtt.cpp.o"
+  "CMakeFiles/mps_tcp.dir/rtt.cpp.o.d"
+  "CMakeFiles/mps_tcp.dir/subflow.cpp.o"
+  "CMakeFiles/mps_tcp.dir/subflow.cpp.o.d"
+  "libmps_tcp.a"
+  "libmps_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_trace.dir/emit.cpp.o"
+  "CMakeFiles/mps_trace.dir/emit.cpp.o.d"
+  "CMakeFiles/mps_trace.dir/series.cpp.o"
+  "CMakeFiles/mps_trace.dir/series.cpp.o.d"
+  "libmps_trace.a"
+  "libmps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

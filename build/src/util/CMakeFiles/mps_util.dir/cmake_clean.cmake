@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_util.dir/log.cpp.o"
+  "CMakeFiles/mps_util.dir/log.cpp.o.d"
+  "CMakeFiles/mps_util.dir/stats.cpp.o"
+  "CMakeFiles/mps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mps_util.dir/time.cpp.o"
+  "CMakeFiles/mps_util.dir/time.cpp.o.d"
+  "libmps_util.a"
+  "libmps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/tcp_test.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/mps_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/mps_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mps_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mps_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
