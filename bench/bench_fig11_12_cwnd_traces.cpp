@@ -13,13 +13,18 @@ int main() {
 
   const auto& scheds = paper_schedulers();
   std::vector<StreamingResult> results;
+  // One flight recorder per scheduler run: the CWND series now come from its
+  // metrics registry, and the decision aggregates feed the report below.
+  std::vector<std::unique_ptr<FlightRecorder>> recorders;
   for (const auto& s : scheds) {
+    recorders.push_back(std::make_unique<FlightRecorder>());
     StreamingParams p;
     p.wifi_mbps = 0.3;
     p.lte_mbps = 8.6;
     p.scheduler = s;
     p.video = bench_scale().video;
     p.collect_traces = true;
+    p.recorder = recorders.back().get();
     results.push_back(run_streaming(p));
   }
 
@@ -49,5 +54,11 @@ int main() {
     std::printf("%s=%.1f ", scheds[i].c_str(), results[i].cwnd_lte.time_mean(from, to));
   }
   std::printf("\npaper shape: ecf highest LTE utilization, then blest, daps, default\n");
+  std::fflush(stdout);
+
+  for (std::size_t i = 0; i < scheds.size(); ++i) {
+    print_recorder_summary(std::cout, scheds[i], *recorders[i]);
+  }
+  std::cout.flush();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "exp/testbed.h"
 #include "exp/webrun.h"
 #include "net/wild.h"
+#include "obs/recorder.h"
 #include "sched/registry.h"
 #include "trace/emit.h"
 
@@ -44,6 +45,14 @@ inline std::vector<std::string> int_labels(int from, int to) {
   std::vector<std::string> out;
   for (int i = from; i <= to; ++i) out.push_back(std::to_string(i));
   return out;
+}
+
+// Flight-recorder end-of-run report under a labelled section header, after
+// the figure output so existing figure sections stay byte-identical.
+inline void print_recorder_summary(std::ostream& os, const std::string& label,
+                                   const FlightRecorder& rec) {
+  os << "\n--- flight recorder: " << label << " ---\n";
+  rec.summarize(os);
 }
 
 // Streaming run with bench-scale defaults applied.

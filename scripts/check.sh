@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the unit/integration test suite.
+#
+#   scripts/check.sh               # RelWithDebInfo build + ctest
+#   scripts/check.sh --sanitize    # additionally run the suite under ASan+UBSan
+#   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -S . -B "$build_dir" "$@" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure
+}
+
+sanitize=0
+notrace=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    --notrace) notrace=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+run_suite build -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+if [[ "$sanitize" == 1 ]]; then
+  run_suite build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=ON
+fi
+
+if [[ "$notrace" == 1 ]]; then
+  run_suite build-notrace -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_TRACE_EVENTS=OFF
+fi
+
+echo "check.sh: all requested suites passed"

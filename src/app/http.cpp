@@ -56,6 +56,7 @@ void HttpExchange::server_pump() {
 }
 
 void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
+  const std::weak_ptr<bool> alive = alive_;
   delivered_total_ += bytes;
   while (bytes > 0 && !objects_.empty()) {
     PendingObject& obj = objects_.front();
@@ -70,6 +71,9 @@ void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
     const ObjectResult result = obj.result;
     objects_.pop_front();
     if (done) done(result);
+    // The callback may have destroyed this exchange (e.g. WebBrowser
+    // retiring an expired keepalive connection); nothing left to do then.
+    if (alive.expired()) return;
   }
   // Freed receive-side accounting may allow more server writes.
   server_pump();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "mptcp/connection.h"
 #include "sim/simulator.h"
@@ -67,6 +68,10 @@ class HttpExchange {
   Duration request_delay_;
   std::deque<PendingObject> objects_;
   std::uint64_t delivered_total_ = 0;
+  // Liveness sentinel: a completion callback may destroy this exchange
+  // (WebBrowser retires the connection from inside `done`), so on_delivered
+  // watches a weak_ptr to it and stops touching members once expired.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace mps

@@ -45,7 +45,7 @@ Subflow* EcfScheduler::pick(Connection& conn) {
   if (xf == nullptr) return nullptr;
   if (xf->can_accept()) {
     // The fastest subflow is available: use it (identical to the default
-    // scheduler in this case).
+    // scheduler in this case; Connection records the pick).
     return xf;
   }
 
@@ -56,11 +56,18 @@ Subflow* EcfScheduler::pick(Connection& conn) {
   const double delta =
       std::max(xf->rtt_stddev().to_seconds(), xs->rtt_stddev().to_seconds());
   const double mss = static_cast<double>(conn.mss());
+  const double k = unscheduled_packets(conn);
+  const double staged_f = static_cast<double>(xf->staged_bytes()) / mss;
+  const double staged_s = static_cast<double>(xs->staged_bytes()) / mss;
+  const bool was_waiting = waiting_;
   const EcfDecision decision = ecf_decide(
-      unscheduled_packets(conn), xf->cwnd(), xf->ssthresh(), xs->cwnd(), xs->ssthresh(),
-      xf->rtt_estimate().to_seconds(), xs->rtt_estimate().to_seconds(), delta, waiting_,
-      config_.beta, static_cast<double>(xf->staged_bytes()) / mss,
-      static_cast<double>(xs->staged_bytes()) / mss);
+      k, xf->cwnd(), xf->ssthresh(), xs->cwnd(), xs->ssthresh(),
+      xf->rtt_estimate().to_seconds(), xs->rtt_estimate().to_seconds(), delta, was_waiting,
+      config_.beta, staged_f, staged_s);
+
+  if (explain_enabled()) [[unlikely]] {
+    note_ecf_decision(decision, *xf, *xs, k, delta, staged_f, staged_s, was_waiting);
+  }
 
   switch (decision) {
     case EcfDecision::kWait:
@@ -73,6 +80,32 @@ Subflow* EcfScheduler::pick(Connection& conn) {
       return xs;  // `waiting` untouched, as in Algorithm 1
   }
   return xs;
+}
+
+MPS_SCHED_COLD void EcfScheduler::note_ecf_decision(EcfDecision decision, const Subflow& xf,
+                                                    const Subflow& xs, double k, double delta,
+                                                    double staged_f, double staged_s,
+                                                    bool was_waiting) const {
+  SchedDecision d;
+  d.kind = decision == EcfDecision::kWait ? SchedDecision::Kind::kWait
+                                          : SchedDecision::Kind::kPick;
+  d.subflow = decision == EcfDecision::kWait ? static_cast<std::int64_t>(xf.id())
+                                             : static_cast<std::int64_t>(xs.id());
+  d.has_ecf_terms = true;
+  d.k_packets = k;
+  d.cwnd_f = xf.cwnd();
+  d.ssthresh_f = xf.ssthresh();
+  d.cwnd_s = xs.cwnd();
+  d.ssthresh_s = xs.ssthresh();
+  d.rtt_f_s = xf.rtt_estimate().to_seconds();
+  d.rtt_s_s = xs.rtt_estimate().to_seconds();
+  d.delta_s = delta;
+  d.staged_f = staged_f;
+  d.staged_s = staged_s;
+  d.waiting = was_waiting;
+  d.beta = config_.beta;
+  d.n_rounds = 1.0 + ecf_transfer_rounds(k + staged_f, xf.cwnd(), xf.ssthresh());
+  note_decision(d);
 }
 
 }  // namespace mps

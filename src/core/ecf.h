@@ -64,6 +64,11 @@ class EcfScheduler final : public Scheduler {
   bool waiting() const { return waiting_; }
 
  private:
+  // Outlined Explain record carrying the full Algorithm 1 terms; cold so the
+  // per-segment pick() path keeps its uninstrumented cost.
+  void note_ecf_decision(EcfDecision decision, const Subflow& xf, const Subflow& xs, double k,
+                         double delta, double staged_f, double staged_s, bool was_waiting) const;
+
   EcfConfig config_;
   bool waiting_ = false;
 };

@@ -4,6 +4,7 @@
 
 #include "app/http.h"
 #include "exp/testbed.h"
+#include "obs/recorder.h"
 #include "sched/registry.h"
 #include "trace/collect.h"
 
@@ -28,6 +29,18 @@ StreamingResult run_streaming(const StreamingParams& params) {
   }
   tb.subflows_per_path = params.subflows_per_path;
   tb.seed = params.seed;
+
+  // Flight recorder: use the caller's if given, otherwise own one when the
+  // CWND/send-buffer series are requested (they are read back from the
+  // metrics registry).
+  std::unique_ptr<FlightRecorder> owned_rec;
+  FlightRecorder* rec = params.recorder;
+  if (rec == nullptr && params.collect_traces) {
+    owned_rec = std::make_unique<FlightRecorder>();
+    rec = owned_rec.get();
+  }
+  if (rec != nullptr && params.collect_traces) rec->metrics().set_keep_series(true);
+  tb.recorder = rec;
   tb.conn.cc = params.cc;
   tb.conn.idle_cwnd_reset = params.idle_cwnd_reset;
   tb.conn.opportunistic_retransmission = params.opportunistic_rtx;
@@ -56,21 +69,24 @@ StreamingResult run_streaming(const StreamingParams& params) {
     lte_sched->start();
   }
 
-  // Trace collectors (paper Figs. 3, 11, 12).
+  // Trace collectors (paper Figs. 3, 11, 12). The CWND series come straight
+  // from the flight recorder's "subflow.cwnd" gauge history; the send-buffer
+  // occupancy still uses a periodic sampler, bounded by the run cap so the
+  // drain-style Simulator::run() terminates.
   const std::size_t wifi_idx = 0;
   const std::size_t lte_idx = static_cast<std::size_t>(params.subflows_per_path);
   auto& subflows = conn->subflows();
-  std::unique_ptr<CwndTracer> cwnd_wifi, cwnd_lte;
   std::unique_ptr<PeriodicSampler> buf_wifi, buf_lte;
   if (params.collect_traces) {
-    cwnd_wifi = std::make_unique<CwndTracer>(*subflows[wifi_idx]);
-    cwnd_lte = std::make_unique<CwndTracer>(*subflows[lte_idx]);
+    const TimePoint sample_until = TimePoint::origin() + run_cap(params.video);
     buf_wifi = std::make_unique<PeriodicSampler>(
         bed.sim(), Duration::millis(100),
-        [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); });
+        [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
+        sample_until);
     buf_lte = std::make_unique<PeriodicSampler>(
         bed.sim(), Duration::millis(100),
-        [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); });
+        [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
+        sample_until);
   }
 
   session.on_finished = [&bed] { bed.sim().request_stop(); };
@@ -118,8 +134,16 @@ StreamingResult run_streaming(const StreamingParams& params) {
   res.mean_rtt_lte_ms = rtt_lte.mean() * 1e3;
 
   if (params.collect_traces) {
-    res.cwnd_wifi = cwnd_wifi->series();
-    res.cwnd_lte = cwnd_lte->series();
+    MetricLabels labels;
+    labels.conn = static_cast<std::int64_t>(conn->config().conn_id);
+    labels.subflow = static_cast<std::int64_t>(wifi_idx);
+    if (const TimeSeries* s = rec->metrics().series("subflow.cwnd", labels)) {
+      res.cwnd_wifi = *s;
+    }
+    labels.subflow = static_cast<std::int64_t>(lte_idx);
+    if (const TimeSeries* s = rec->metrics().series("subflow.cwnd", labels)) {
+      res.cwnd_lte = *s;
+    }
     res.sndbuf_wifi = buf_wifi->series();
     res.sndbuf_lte = buf_lte->series();
   }

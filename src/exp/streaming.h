@@ -14,6 +14,8 @@
 
 namespace mps {
 
+class FlightRecorder;
+
 struct StreamingParams {
   double wifi_mbps = 8.6;
   double lte_mbps = 8.6;
@@ -33,6 +35,10 @@ struct StreamingParams {
   int subflows_per_path = 1;     // Fig. 15 uses 2
   std::uint64_t seed = 1;
   bool collect_traces = false;   // CWND + send-buffer time series
+  // Optional flight recorder (borrowed; must outlive the run). When set, all
+  // instruments/events of the run land there; when unset and collect_traces
+  // is on, the runner owns a private recorder for the CWND series.
+  FlightRecorder* recorder = nullptr;
   // Optional time-varying bandwidth (Section 5.3); offsets from t = 0.
   std::vector<RateChange> wifi_trace;
   std::vector<RateChange> lte_trace;

@@ -3,6 +3,7 @@
 namespace mps {
 
 Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
+  sim_.set_recorder(config_.recorder);
   wifi_ = std::make_unique<Path>(sim_, config_.wifi);
   lte_ = std::make_unique<Path>(sim_, config_.lte);
   wifi_->down().set_rng(rng_.fork());

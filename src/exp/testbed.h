@@ -22,6 +22,10 @@ struct TestbedConfig {
   int subflows_per_path = 1;
   ConnectionConfig conn;  // template; conn_id is assigned per connection
   std::uint64_t seed = 1;
+  // Optional flight recorder (borrowed; must outlive the testbed). Attached
+  // to the simulator before the paths are built so link/subflow/connection
+  // instruments all register.
+  FlightRecorder* recorder = nullptr;
 };
 
 class Testbed {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.h"
 #include "util/log.h"
 
 namespace mps {
@@ -18,6 +19,19 @@ Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path
       drs_window_(config.rcv_initial_window) {
   assert(!paths.empty());
   assert(scheduler_ != nullptr);
+
+  scheduler_->bind(sim_, config_.conn_id);
+  if (FlightRecorder* rec = sim_.recorder(); rec != nullptr) {
+    MetricsRegistry& m = rec->metrics();
+    MetricLabels labels;
+    labels.conn = static_cast<std::int64_t>(config_.conn_id);
+    obs_.ooo_bytes_total = m.counter("conn.ooo_bytes_total", labels);
+    obs_.reinjections = m.counter("conn.reinjections", labels);
+    obs_.window_stalls = m.counter("conn.window_stalls", labels);
+    obs_.sndbuf_blocked_ns = m.counter("conn.sndbuf_blocked_ns", labels);
+    obs_.meta_ooo_bytes = m.gauge("conn.meta_ooo_bytes", labels);
+    obs_.reorder_segments = m.gauge("conn.reorder_segments", labels);
+  }
 
   subflows_.reserve(paths.size());
   receivers_.reserve(paths.size());
@@ -67,6 +81,10 @@ std::uint64_t Connection::sndbuf_free() const {
 std::uint64_t Connection::send(std::uint64_t len) {
   const std::uint64_t accepted = std::min(len, sndbuf_free());
   send_queue_bytes_ += accepted;
+  if (accepted < len && !sndbuf_blocked_) {
+    sndbuf_blocked_ = true;
+    sndbuf_blocked_since_ = sim_.now();
+  }
   if (accepted > 0) try_send();
   return accepted;
 }
@@ -80,11 +98,15 @@ void Connection::try_send() {
   while (send_queue_bytes_ > 0) {
     if (meta_inflight() >= rwnd_) {
       ++meta_stats_.window_stalls;
+      obs_.window_stalls.inc();
+      MPS_TRACE_EVENT(sim_, EventType::kWindowStall, config_.conn_id, -1,
+                      {"inflight", meta_inflight()}, {"rwnd", rwnd_});
       try_opportunistic_retransmit();
       break;
     }
     Subflow* sf = scheduler_->pick(*this);
     if (sf == nullptr || !sf->can_accept()) break;
+    scheduler_->note_scheduled(sf->id());
     const std::uint32_t payload =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.mss, send_queue_bytes_));
     sf->assign_segment(next_data_seq_, payload);
@@ -132,6 +154,10 @@ void Connection::try_opportunistic_retransmit() {
   carrier->send_segment(oldest.data_seq, oldest.payload, /*reinjection=*/true);
   last_reinjected_seq_ = oldest.data_seq;
   ++meta_stats_.reinjections;
+  obs_.reinjections.inc();
+  MPS_TRACE_EVENT(sim_, EventType::kReinjection, config_.conn_id, carrier->id(),
+                  {"dseq", oldest.data_seq}, {"len", oldest.payload},
+                  {"blocker", static_cast<std::int64_t>(blocker->id())});
   if (config_.penalization) blocker->penalize();
 }
 
@@ -140,6 +166,11 @@ void Connection::on_subflow_ack(Subflow&) { try_send(); }
 void Connection::on_data_ack(std::uint64_t data_ack) {
   if (data_ack <= data_una_) return;
   data_una_ = std::min(data_ack, next_data_seq_);
+  if (sndbuf_blocked_ && sndbuf_free() > 0) {
+    sndbuf_blocked_ = false;
+    obs_.sndbuf_blocked_ns.inc(
+        static_cast<std::uint64_t>((sim_.now() - sndbuf_blocked_since_).ns()));
+  }
   notify_sendable();
 }
 
@@ -196,6 +227,9 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
     (void)it;
     if (inserted) {
       meta_ooo_bytes_ += payload;
+      obs_.ooo_bytes_total.inc(payload);
+      obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+      obs_.reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
     } else {
       ++meta_stats_.duplicate_segments;
     }
@@ -211,6 +245,7 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
   pending_deliver_bytes_ += new_bytes;
 
   // Drain contiguous held segments.
+  const bool had_held = !meta_ooo_.empty();
   auto it = meta_ooo_.begin();
   while (it != meta_ooo_.end() && it->first <= rcv_data_next_) {
     const std::uint64_t seg_end = it->first + it->second.payload;
@@ -225,6 +260,10 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
     }
     meta_ooo_bytes_ -= it->second.payload;
     it = meta_ooo_.erase(it);
+  }
+  if (had_held) {
+    obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+    obs_.reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
   }
 
   // Dynamic right-sizing: once a full window of in-order data has been

@@ -27,6 +27,7 @@
 #include "net/mux.h"
 #include "net/path.h"
 #include "mptcp/scheduler.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "tcp/subflow.h"
@@ -176,6 +177,18 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
 
   MetaStats meta_stats_;
   Samples ooo_delay_;
+
+  // Flight-recorder instruments (no-ops unless a recorder was attached to
+  // the Simulator before construction).
+  struct Instruments {
+    Counter ooo_bytes_total, reinjections, window_stalls, sndbuf_blocked_ns;
+    Gauge meta_ooo_bytes, reorder_segments;
+  };
+  Instruments obs_;
+  // Time the send buffer has been full with the application wanting to send
+  // more (conn.sndbuf_blocked_ns) — the paper's "server is sndbuf-limited".
+  bool sndbuf_blocked_ = false;
+  TimePoint sndbuf_blocked_since_;
 };
 
 }  // namespace mps

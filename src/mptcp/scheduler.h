@@ -11,12 +11,26 @@
 // the send queue / meta window is exhausted.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+
+#include "obs/decision.h"
+#include "util/time.h"
+
+// Keeps decision-recording bodies out of the pick() hot path: the explain
+// branch then costs one predicted test, with the cold body behind a call.
+#if defined(__GNUC__)
+#define MPS_SCHED_COLD __attribute__((noinline, cold))
+#else
+#define MPS_SCHED_COLD
+#endif
 
 namespace mps {
 
 class Connection;
+class FlightRecorder;
+class Simulator;
 class Subflow;
 
 class Scheduler {
@@ -36,6 +50,61 @@ class Scheduler {
 
   // Clears per-connection state (a fresh connection reuses the object).
   virtual void reset() {}
+
+  // --- decision tracing (Explain) -------------------------------------------
+  // Connection calls this at construction, wiring the scheduler to the
+  // simulator clock and its flight recorder (if one was attached to the
+  // Simulator before the connection was built).
+  void bind(Simulator& sim, std::uint32_t conn_id);
+
+  // Optional per-decision hook, fired in addition to the flight recorder.
+  void set_on_decision(std::function<void(TimePoint, const SchedDecision&)> fn) {
+    on_decision_ = std::move(fn);
+    explain_ = recorder_ != nullptr || static_cast<bool>(on_decision_);
+  }
+
+  // Called by Connection right after a successful pick() is committed to a
+  // segment. Recording picks here — instead of on pick()'s hot return paths —
+  // keeps the per-decision cost at zero when nothing is listening (the
+  // microbenchmark calls pick() directly and must not regress). Skips the
+  // record when the scheduler already logged this pick with its full
+  // decision terms (ECF's explain path).
+  void note_scheduled(std::int64_t subflow) const {
+    if (!explain_) [[likely]] {
+      return;
+    }
+    note_scheduled_slow(subflow);
+  }
+
+ protected:
+  // Schedulers guard their decision bookkeeping with this: a single
+  // well-predicted bool test, so pick() stays at its uninstrumented cost
+  // when nothing is listening. Pair it with [[unlikely]] and keep the
+  // recording body outlined (note_pick / a MPS_SCHED_COLD helper) so the
+  // compiler does not bloat the hot path with the SchedDecision fill.
+  bool explain_enabled() const { return explain_; }
+  std::int64_t bound_conn_id() const { return conn_id_; }
+
+  // Stamps `d` with conn id + sim time and routes it to the recorder's
+  // decision log (aggregates + optional full log + event sink) and the hook.
+  void note_decision(SchedDecision d) const;
+
+  // Outlined plain pick/wait records, for the schedulers whose decision
+  // carries no extra quantities.
+  void note_pick(std::int64_t subflow) const;
+  void note_wait(std::int64_t subflow) const;
+
+ private:
+  void note_scheduled_slow(std::int64_t subflow) const;
+
+  Simulator* sim_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  std::int64_t conn_id_ = -1;
+  bool explain_ = false;
+  std::function<void(TimePoint, const SchedDecision&)> on_decision_;
+  // Subflow of the last terms-bearing pick note_decision recorded, so
+  // note_scheduled does not double-count it. -1 when none is pending.
+  mutable std::int64_t last_terms_pick_ = -1;
 };
 
 // Factory so scenario code can instantiate one scheduler per connection.

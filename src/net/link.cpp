@@ -3,27 +3,46 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "util/log.h"
 
 namespace mps {
 
 Link::Link(Simulator& sim, LinkConfig config, std::string name)
-    : sim_(sim), config_(config), name_(std::move(name)), tx_timer_(sim) {}
+    : sim_(sim), config_(config), name_(std::move(name)), tx_timer_(sim) {
+  if (FlightRecorder* rec = sim_.recorder(); rec != nullptr) {
+    MetricsRegistry& m = rec->metrics();
+    MetricLabels labels;
+    labels.entity = name_;
+    obs_.drops_queue = m.counter("link.drops_queue", labels);
+    obs_.drops_random = m.counter("link.drops_random", labels);
+    obs_.busy_ns = m.counter("link.busy_ns", labels);
+    obs_.queue_depth = m.gauge("link.queue_depth", labels);
+  }
+}
 
 void Link::send(Packet pkt) {
   ++stats_.packets_in;
   if (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate)) {
     ++stats_.drops_random;
+    obs_.drops_random.inc();
+    MPS_TRACE_EVENT(sim_, EventType::kLinkDrop, pkt.conn_id, pkt.subflow_id,
+                    {"link", name_.c_str()}, {"reason", "random"});
     return;
   }
   if (busy_) {
     if (queue_.size() >= config_.queue_packets) {
       ++stats_.drops_queue;
+      obs_.drops_queue.inc();
+      MPS_TRACE_EVENT(sim_, EventType::kLinkDrop, pkt.conn_id, pkt.subflow_id,
+                      {"link", name_.c_str()}, {"reason", "queue"},
+                      {"depth", static_cast<std::uint64_t>(queue_.size())});
       MPS_DEBUG("%s: drop (queue full, depth=%zu)", name_.c_str(), queue_.size());
       return;
     }
     queue_.push_back(pkt);
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    obs_.queue_depth.set(sim_.now(), static_cast<double>(queue_.size()));
     return;
   }
   in_service_ = pkt;
@@ -40,6 +59,7 @@ void Link::start_transmission() {
     tx_timer_.schedule_after(Duration::millis(100), [this] { start_transmission(); });
     return;
   }
+  obs_.busy_ns.inc(static_cast<std::uint64_t>(tx.ns()));
   tx_timer_.schedule_after(tx, [this] { finish_transmission(); });
 }
 
@@ -52,6 +72,7 @@ void Link::finish_transmission() {
   if (!queue_.empty()) {
     in_service_ = queue_.front();
     queue_.pop_front();
+    obs_.queue_depth.set(sim_.now(), static_cast<double>(queue_.size()));
     start_transmission();
   } else {
     busy_ = false;

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/rate.h"
 #include "util/rng.h"
@@ -84,6 +85,14 @@ class Link {
   Packet in_service_;
   Timer tx_timer_;
   LinkStats stats_;
+
+  // Flight-recorder instruments, labelled entity=name_ (no-ops unless a
+  // recorder was attached to the Simulator before construction).
+  struct Instruments {
+    Counter drops_queue, drops_random, busy_ns;
+    Gauge queue_depth;
+  };
+  Instruments obs_;
 };
 
 }  // namespace mps

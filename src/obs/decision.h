@@ -1,0 +1,42 @@
+// Scheduler decision records: what a scheduler chose (a pick of one subflow,
+// or a deliberate wait) and the quantities that drove it. For ECF these are
+// exactly the Algorithm 1 terms, so a decision can be replayed through
+// ecf_decide() and checked against what the live scheduler did — that is the
+// contract tests/obs_test.cpp enforces.
+//
+// Plain data only: obs/ must not depend on mptcp/, so the scheduler base
+// class includes this header, not the other way round.
+#pragma once
+
+#include <cstdint>
+
+namespace mps {
+
+struct SchedDecision {
+  enum class Kind : std::uint8_t {
+    kPick,  // `subflow` carries the next segment
+    kWait,  // all subflows declined on purpose (ECF/BLEST/DAPS waiting)
+  };
+
+  const char* scheduler = "";
+  Kind kind = Kind::kPick;
+  std::int64_t conn = -1;
+  std::int64_t subflow = -1;  // picked subflow id; for kWait, the subflow waited for
+
+  // ECF Algorithm 1 inputs, captured when the scheduler evaluated the
+  // inequalities (has_ecf_terms). Replaying ecf_decide(k_packets, cwnd_f,
+  // ssthresh_f, cwnd_s, ssthresh_s, rtt_f_s, rtt_s_s, delta_s, waiting,
+  // beta, staged_f, staged_s) must reproduce `kind`.
+  bool has_ecf_terms = false;
+  double k_packets = 0.0;  // unscheduled packets (ECF's k)
+  double cwnd_f = 0.0, ssthresh_f = 0.0;
+  double cwnd_s = 0.0, ssthresh_s = 0.0;
+  double rtt_f_s = 0.0, rtt_s_s = 0.0;  // seconds
+  double delta_s = 0.0;                 // max(sigma_f, sigma_s), seconds
+  double staged_f = 0.0, staged_s = 0.0;
+  bool waiting = false;  // hysteresis state *before* this decision
+  double beta = 0.0;
+  double n_rounds = 0.0;  // 1 + transfer_rounds(k + staged_f, cwnd_f, ssthresh_f)
+};
+
+}  // namespace mps

@@ -1,0 +1,154 @@
+#include "obs/events.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace mps {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kPktSend: return "pkt_send";
+    case EventType::kPktRetransmit: return "pkt_retransmit";
+    case EventType::kPktAck: return "pkt_ack";
+    case EventType::kLossMark: return "loss_mark";
+    case EventType::kRtoFire: return "rto";
+    case EventType::kFastRecovery: return "fast_recovery";
+    case EventType::kRecoveryExit: return "recovery_exit";
+    case EventType::kIdleReset: return "idle_reset";
+    case EventType::kPenalize: return "penalize";
+    case EventType::kReinjection: return "reinjection";
+    case EventType::kWindowStall: return "window_stall";
+    case EventType::kLinkDrop: return "link_drop";
+    case EventType::kSchedPick: return "sched_pick";
+    case EventType::kSchedWait: return "sched_wait";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_f64(std::ostream& os, double v) {
+  char buf[32];
+  // Shortest form that still distinguishes the values schedulers compare;
+  // full round-trip is not needed for a human-facing trace.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void JsonlSink::on_event(TimePoint t, EventType type, std::int64_t conn,
+                         std::int64_t subflow, const EventField* fields,
+                         std::size_t n_fields) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9f", t.to_seconds());
+  os_ << "{\"t\":" << buf << ",\"ev\":\"" << event_type_name(type) << '"';
+  if (conn >= 0) os_ << ",\"conn\":" << conn;
+  if (subflow >= 0) os_ << ",\"sf\":" << subflow;
+  for (std::size_t i = 0; i < n_fields; ++i) {
+    const EventField& f = fields[i];
+    os_ << ",\"";
+    write_escaped(os_, f.key);
+    os_ << "\":";
+    switch (f.tag) {
+      case EventField::Tag::kU64: os_ << f.u; break;
+      case EventField::Tag::kI64: os_ << f.i; break;
+      case EventField::Tag::kF64: write_f64(os_, f.f); break;
+      case EventField::Tag::kBool: os_ << (f.u != 0 ? "true" : "false"); break;
+      case EventField::Tag::kStr:
+        os_ << '"';
+        write_escaped(os_, f.s != nullptr ? f.s : "");
+        os_ << '"';
+        break;
+    }
+  }
+  os_ << "}\n";
+  ++events_written_;
+}
+
+namespace {
+
+const EventField* find_field(const std::vector<EventField>& fields, const char* key) {
+  for (const EventField& f : fields) {
+    if (std::strcmp(f.key, key) == 0) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double VectorSink::Recorded::f64(const char* key, double fallback) const {
+  const EventField* f = find_field(fields, key);
+  if (f == nullptr) return fallback;
+  switch (f->tag) {
+    case EventField::Tag::kF64: return f->f;
+    case EventField::Tag::kU64: return static_cast<double>(f->u);
+    case EventField::Tag::kI64: return static_cast<double>(f->i);
+    case EventField::Tag::kBool: return f->u != 0 ? 1.0 : 0.0;
+    case EventField::Tag::kStr: return fallback;
+  }
+  return fallback;
+}
+
+std::int64_t VectorSink::Recorded::i64(const char* key, std::int64_t fallback) const {
+  const EventField* f = find_field(fields, key);
+  if (f == nullptr) return fallback;
+  switch (f->tag) {
+    case EventField::Tag::kI64: return f->i;
+    case EventField::Tag::kU64: return static_cast<std::int64_t>(f->u);
+    case EventField::Tag::kF64: return static_cast<std::int64_t>(f->f);
+    case EventField::Tag::kBool: return f->u != 0 ? 1 : 0;
+    case EventField::Tag::kStr: return fallback;
+  }
+  return fallback;
+}
+
+std::uint64_t VectorSink::Recorded::u64(const char* key, std::uint64_t fallback) const {
+  const EventField* f = find_field(fields, key);
+  if (f == nullptr) return fallback;
+  switch (f->tag) {
+    case EventField::Tag::kU64: return f->u;
+    case EventField::Tag::kI64: return static_cast<std::uint64_t>(f->i);
+    case EventField::Tag::kF64: return static_cast<std::uint64_t>(f->f);
+    case EventField::Tag::kBool: return f->u;
+    case EventField::Tag::kStr: return fallback;
+  }
+  return fallback;
+}
+
+bool VectorSink::Recorded::boolean(const char* key, bool fallback) const {
+  const EventField* f = find_field(fields, key);
+  if (f == nullptr) return fallback;
+  return f->u != 0 || f->i != 0 || f->f != 0.0;
+}
+
+std::size_t VectorSink::count(EventType type) const {
+  std::size_t n = 0;
+  for (const Recorded& r : events_) {
+    if (r.type == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace mps

@@ -1,0 +1,117 @@
+// Structured trace events: typed records with sim-timestamps, emitted by the
+// stack through the MPS_TRACE_EVENT macro (see obs/recorder.h) and consumed
+// by pluggable sinks. The reference sink writes JSONL — one self-describing
+// object per line — which is what `--trace-out events.jsonl` produces.
+//
+// Field keys and string values must be string literals (or otherwise outlive
+// the sink call); events are built on the stack with zero heap allocation so
+// the tracing-enabled path stays cheap.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mps {
+
+enum class EventType : std::uint8_t {
+  kPktSend,        // original transmission committed to the wire
+  kPktRetransmit,  // loss-recovery retransmission
+  kPktAck,         // new cumulative ack processed by the sender
+  kLossMark,       // segment deemed lost (FACK/RACK/dupack scoreboard)
+  kRtoFire,        // retransmission timeout fired
+  kFastRecovery,   // sender entered fast recovery
+  kRecoveryExit,   // sender left fast recovery
+  kIdleReset,      // idle CWND restart (the paper's Fig. 6 mechanism)
+  kPenalize,       // CWND halved by meta-level penalization
+  kReinjection,    // opportunistic retransmission on another subflow
+  kWindowStall,    // meta send window blocked scheduling
+  kLinkDrop,       // packet dropped at a link (queue overflow / random)
+  kSchedPick,      // scheduler chose a subflow for the next segment
+  kSchedWait,      // scheduler deliberately declined all subflows
+};
+
+// Stable wire name ("pkt_send", "sched_wait", ...).
+const char* event_type_name(EventType t);
+
+// One key/value pair of an event payload. Keys/string values are borrowed.
+struct EventField {
+  enum class Tag : std::uint8_t { kU64, kI64, kF64, kBool, kStr };
+
+  const char* key;
+  Tag tag;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double f = 0.0;
+  const char* s = nullptr;
+
+  EventField(const char* k, std::uint64_t v) : key(k), tag(Tag::kU64), u(v) {}
+  EventField(const char* k, std::uint32_t v) : EventField(k, static_cast<std::uint64_t>(v)) {}
+  EventField(const char* k, std::int64_t v) : key(k), tag(Tag::kI64), i(v) {}
+  EventField(const char* k, int v) : EventField(k, static_cast<std::int64_t>(v)) {}
+  EventField(const char* k, double v) : key(k), tag(Tag::kF64), f(v) {}
+  EventField(const char* k, bool v) : key(k), tag(Tag::kBool), u(v ? 1 : 0) {}
+  EventField(const char* k, const char* v) : key(k), tag(Tag::kStr), s(v) {}
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  // `conn`/`subflow` are -1 when the event is not scoped to one.
+  virtual void on_event(TimePoint t, EventType type, std::int64_t conn, std::int64_t subflow,
+                        const EventField* fields, std::size_t n_fields) = 0;
+};
+
+// Writes one JSON object per event:
+//   {"t":1.234000000,"ev":"sched_wait","conn":1,"k":12,"cwnd_f":10,...}
+// `t` is simulated seconds with nanosecond precision; `conn`/`sf` are present
+// only when scoped. Schema is covered by a golden test (tests/obs_test.cpp).
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+  void on_event(TimePoint t, EventType type, std::int64_t conn, std::int64_t subflow,
+                const EventField* fields, std::size_t n_fields) override;
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t events_written_ = 0;
+};
+
+// Captures events in memory (tests, programmatic consumers).
+class VectorSink final : public EventSink {
+ public:
+  struct Recorded {
+    TimePoint t;
+    EventType type;
+    std::int64_t conn;
+    std::int64_t subflow;
+    std::vector<EventField> fields;
+
+    // Field access by key; returns fallback when missing.
+    double f64(const char* key, double fallback = 0.0) const;
+    std::int64_t i64(const char* key, std::int64_t fallback = 0) const;
+    std::uint64_t u64(const char* key, std::uint64_t fallback = 0) const;
+    bool boolean(const char* key, bool fallback = false) const;
+  };
+
+  void on_event(TimePoint t, EventType type, std::int64_t conn, std::int64_t subflow,
+                const EventField* fields, std::size_t n_fields) override {
+    events_.push_back(Recorded{t, type, conn, subflow,
+                               std::vector<EventField>(fields, fields + n_fields)});
+  }
+
+  const std::vector<Recorded>& events() const { return events_; }
+  std::size_t count(EventType type) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Recorded> events_;
+};
+
+}  // namespace mps

@@ -1,0 +1,66 @@
+// Multi-listener dispatch for stack trace hooks.
+//
+// The original single-slot `std::function` hooks meant that two observers of
+// the same signal (e.g. a CwndTracer and the flight recorder) silently
+// clobbered each other. `Hook` keeps an ordered listener list; `add` returns
+// an id the owner uses to detach, so observers with shorter lifetimes than
+// the observed object can unregister safely.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mps {
+
+template <typename... Args>
+class Hook {
+ public:
+  using Fn = std::function<void(Args...)>;
+  using Id = std::size_t;
+  static constexpr Id kInvalidId = static_cast<Id>(-1);
+
+  // Registers a listener; listeners fire in registration order.
+  Id add(Fn fn) {
+    listeners_.push_back(Listener{next_id_, std::move(fn)});
+    return next_id_++;
+  }
+
+  // Detaches a listener. Safe to call with an already-removed id.
+  void remove(Id id) {
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->id == id) {
+        listeners_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // Compatibility with the previous single-slot `std::function` interface:
+  // assignment replaces all listeners, operator bool tests for any.
+  Hook& operator=(Fn fn) {
+    listeners_.clear();
+    if (fn) add(std::move(fn));
+    return *this;
+  }
+  explicit operator bool() const { return !listeners_.empty(); }
+  bool empty() const { return listeners_.empty(); }
+  std::size_t size() const { return listeners_.size(); }
+
+  // Dispatch. Listeners must not add/remove listeners of this hook while it
+  // fires.
+  void operator()(Args... args) const {
+    for (const Listener& l : listeners_) l.fn(args...);
+  }
+
+ private:
+  struct Listener {
+    Id id;
+    Fn fn;
+  };
+  std::vector<Listener> listeners_;
+  Id next_id_ = 0;
+};
+
+}  // namespace mps

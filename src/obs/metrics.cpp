@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps {
+
+void HistogramData::record(double v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+
+  int idx = 0;
+  if (v > 0.0) {
+    idx = static_cast<int>(std::ceil(std::log2(v))) + kOffset;
+    idx = std::clamp(idx, 0, kBuckets - 1);
+  }
+  ++buckets[static_cast<std::size_t>(idx)];
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= target) {
+      return std::min(max, std::exp2(static_cast<double>(i - kOffset)));
+    }
+  }
+  return max;
+}
+
+Instrument& MetricsRegistry::get_or_create(std::string_view name, InstrumentKind kind,
+                                           MetricLabels labels) {
+  for (Instrument& inst : instruments_) {
+    if (inst.kind == kind && inst.name == name && inst.labels == labels) return inst;
+  }
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = std::string(name);
+  inst.labels = std::move(labels);
+  inst.kind = kind;
+  inst.keep_series = keep_series_;
+  return inst;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, MetricLabels labels) {
+  return Counter(&get_or_create(name, InstrumentKind::kCounter, std::move(labels)));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, MetricLabels labels) {
+  return Gauge(&get_or_create(name, InstrumentKind::kGauge, std::move(labels)));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, MetricLabels labels) {
+  return Histogram(&get_or_create(name, InstrumentKind::kHistogram, std::move(labels)));
+}
+
+const Instrument* MetricsRegistry::find(std::string_view name,
+                                        const MetricLabels& labels) const {
+  for (const Instrument& inst : instruments_) {
+    if (inst.name == name && inst.labels == labels) return &inst;
+  }
+  return nullptr;
+}
+
+const TimeSeries* MetricsRegistry::series(std::string_view name,
+                                          const MetricLabels& labels) const {
+  const Instrument* inst = find(name, labels);
+  if (inst == nullptr || !inst->keep_series) return nullptr;
+  return &inst->series;
+}
+
+std::uint64_t MetricsRegistry::total(std::string_view name) const {
+  std::uint64_t sum = 0;
+  for (const Instrument& inst : instruments_) {
+    if (inst.kind == InstrumentKind::kCounter && inst.name == name) sum += inst.count;
+  }
+  return sum;
+}
+
+}  // namespace mps

@@ -1,0 +1,142 @@
+#include "obs/recorder.h"
+
+#include <cstdio>
+
+namespace mps {
+
+void FlightRecorder::record_decision(TimePoint t, const SchedDecision& d) {
+  DecisionCounts& c = decision_counts_[{std::string(d.scheduler), d.conn}];
+  if (d.kind == SchedDecision::Kind::kPick) {
+    ++c.picks;
+    ++c.picks_by_subflow[d.subflow];
+  } else {
+    ++c.waits;
+  }
+
+  if (keep_decisions_) decisions_.push_back(TimedDecision{t, d});
+
+  if (sink_ != nullptr) {
+    const EventType type = d.kind == SchedDecision::Kind::kPick ? EventType::kSchedPick
+                                                                : EventType::kSchedWait;
+    if (d.has_ecf_terms) {
+      record_event(t, type, d.conn, d.subflow,
+                   {{"sched", d.scheduler},
+                    {"k", d.k_packets},
+                    {"cwnd_f", d.cwnd_f},
+                    {"ssthresh_f", d.ssthresh_f},
+                    {"cwnd_s", d.cwnd_s},
+                    {"ssthresh_s", d.ssthresh_s},
+                    {"rtt_f", d.rtt_f_s},
+                    {"rtt_s", d.rtt_s_s},
+                    {"delta", d.delta_s},
+                    {"staged_f", d.staged_f},
+                    {"staged_s", d.staged_s},
+                    {"waiting", d.waiting},
+                    {"beta", d.beta},
+                    {"n_rounds", d.n_rounds}});
+    } else {
+      record_event(t, type, d.conn, d.subflow, {{"sched", d.scheduler}});
+    }
+  }
+}
+
+std::uint64_t FlightRecorder::total_picks() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, c] : decision_counts_) n += c.picks;
+  return n;
+}
+
+std::uint64_t FlightRecorder::total_waits() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, c] : decision_counts_) n += c.waits;
+  return n;
+}
+
+namespace {
+
+void print_labels(std::ostream& os, const MetricLabels& l) {
+  char buf[96];
+  if (!l.entity.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-14s", l.entity.c_str());
+    os << buf;
+    return;
+  }
+  std::string tag;
+  if (l.conn >= 0) tag += "conn=" + std::to_string(l.conn);
+  if (l.subflow >= 0) tag += (tag.empty() ? "" : " ") + std::string("sf=") +
+                             std::to_string(l.subflow);
+  std::snprintf(buf, sizeof(buf), "%-14s", tag.c_str());
+  os << buf;
+}
+
+}  // namespace
+
+void FlightRecorder::summarize(std::ostream& os) const {
+  char buf[160];
+  os << "=== flight recorder summary ===\n";
+  os << "events recorded: " << events_recorded_ << "\n";
+
+  if (!decision_counts_.empty()) {
+    os << "scheduler decisions:\n";
+    for (const auto& [key, c] : decision_counts_) {
+      os << "  " << key.first << " conn=" << key.second << ": picks=" << c.picks;
+      if (!c.picks_by_subflow.empty()) {
+        os << " [";
+        bool first = true;
+        for (const auto& [sf, n] : c.picks_by_subflow) {
+          if (!first) os << ' ';
+          os << "sf" << sf << '=' << n;
+          first = false;
+        }
+        os << ']';
+      }
+      os << " waits=" << c.waits << "\n";
+    }
+  }
+
+  bool header = false;
+  for (const Instrument& inst : metrics_.instruments()) {
+    if (inst.kind != InstrumentKind::kCounter || inst.count == 0) continue;
+    if (!header) {
+      os << "counters:\n";
+      header = true;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-32s ", inst.name.c_str());
+    os << buf;
+    print_labels(os, inst.labels);
+    os << " = " << inst.count << "\n";
+  }
+
+  header = false;
+  for (const Instrument& inst : metrics_.instruments()) {
+    if (inst.kind != InstrumentKind::kGauge) continue;
+    if (!header) {
+      os << "gauges (final value):\n";
+      header = true;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-32s ", inst.name.c_str());
+    os << buf;
+    print_labels(os, inst.labels);
+    std::snprintf(buf, sizeof(buf), " = %.3f", inst.value);
+    os << buf << "\n";
+  }
+
+  header = false;
+  for (const Instrument& inst : metrics_.instruments()) {
+    if (inst.kind != InstrumentKind::kHistogram || inst.hist.count == 0) continue;
+    if (!header) {
+      os << "histograms:\n";
+      header = true;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-32s ", inst.name.c_str());
+    os << buf;
+    print_labels(os, inst.labels);
+    std::snprintf(buf, sizeof(buf),
+                  " n=%llu mean=%.3f p50<=%.3f p99<=%.3f max=%.3f",
+                  static_cast<unsigned long long>(inst.hist.count), inst.hist.mean(),
+                  inst.hist.quantile(0.50), inst.hist.quantile(0.99), inst.hist.max);
+    os << buf << "\n";
+  }
+}
+
+}  // namespace mps

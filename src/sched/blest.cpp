@@ -21,7 +21,7 @@ bool blest_would_block(double lambda, double cwnd_f, double rtt_f_s, double rtt_
 Subflow* BlestScheduler::pick(Connection& conn) {
   Subflow* xf = fastest_established(conn);
   if (xf == nullptr) return nullptr;
-  if (xf->can_accept()) return xf;
+  if (xf->can_accept()) return xf;  // pick recorded by Connection
 
   Subflow* xs = fastest_available(conn, xf);
   if (xs == nullptr) return nullptr;
@@ -41,11 +41,18 @@ Subflow* BlestScheduler::pick(Connection& conn) {
   const double window = static_cast<double>(conn.send_window());
   const double mss = static_cast<double>(conn.mss());
 
-  if (blest_would_block(lambda_, xf->cwnd(), xf->rtt_estimate().to_seconds(),
+  const bool blocked =
+      blest_would_block(lambda_, xf->cwnd(), xf->rtt_estimate().to_seconds(),
                         xs->rtt_estimate().to_seconds(), mss, window,
                         static_cast<double>(conn.meta_inflight()),
-                        static_cast<double>(xs->inflight_segments()) * mss)) {
-    return nullptr;  // wait for the fast subflow
+                        static_cast<double>(xs->inflight_segments()) * mss);
+  if (blocked) {
+    // Deliberate wait for the fast subflow: only pick() knows this is not a
+    // plain "everyone is CWND-limited" null, so it is recorded here.
+    if (explain_enabled()) [[unlikely]] {
+      note_wait(xf->id());
+    }
+    return nullptr;
   }
   return xs;
 }

@@ -61,9 +61,12 @@ Subflow* DapsScheduler::pick(Connection& conn) {
     }
     if (sf->can_accept()) {
       ++pos_;
-      return sf;
+      return sf;  // pick recorded by Connection
     }
     // Strict plan adherence: wait for the planned subflow's CWND space.
+    if (explain_enabled()) [[unlikely]] {
+      note_wait(sf->id());
+    }
     return nullptr;
   }
   return nullptr;

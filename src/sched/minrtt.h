@@ -9,6 +9,8 @@ namespace mps {
 
 class MinRttScheduler final : public Scheduler {
  public:
+  // Picks are recorded by Connection via note_scheduled(); nothing to
+  // explain here beyond the choice itself.
   Subflow* pick(Connection& conn) override { return fastest_available(conn); }
   const char* name() const override { return "default"; }
 };

@@ -18,6 +18,8 @@
 
 namespace mps {
 
+class FlightRecorder;  // obs/recorder.h; the simulator only carries the pointer
+
 class Simulator {
  public:
   Simulator() = default;
@@ -25,6 +27,12 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint now() const { return now_; }
+
+  // Observability root for this simulation (borrowed, may be null). Attach
+  // *before* constructing model objects: Subflow/Connection/Link register
+  // their instruments at construction time and never re-check later.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* recorder() const { return recorder_; }
 
   // Schedule at an absolute time (must be >= now()).
   EventId at(TimePoint when, std::function<void()> fn);
@@ -61,6 +69,7 @@ class Simulator {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t processed_ = 0;
   bool stop_requested_ = false;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 // RAII one-shot timer. Owns at most one pending event; rescheduling or

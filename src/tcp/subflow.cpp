@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.h"
 #include "util/log.h"
 
 namespace mps {
@@ -20,6 +21,22 @@ Subflow::Subflow(Simulator& sim, SubflowConfig config, Path& path,
       rack_timer_(sim),
       established_at_(sim.now() + config.join_delay) {
   assert(cc_ != nullptr);
+  if (FlightRecorder* rec = sim.recorder()) {
+    MetricsRegistry& m = rec->metrics();
+    const MetricLabels l{static_cast<std::int64_t>(config_.conn_id),
+                         static_cast<std::int64_t>(config_.id), {}};
+    obs_.segments_sent = m.counter("subflow.segments_sent", l);
+    obs_.retransmits = m.counter("subflow.retransmits", l);
+    obs_.fast_recoveries = m.counter("subflow.fast_recoveries", l);
+    obs_.rtos = m.counter("subflow.rtos", l);
+    obs_.idle_resets = m.counter("subflow.idle_cwnd_resets", l);
+    obs_.penalizations = m.counter("subflow.penalizations", l);
+    obs_.reinjections_carried = m.counter("subflow.reinjections_carried", l);
+    obs_.cwnd = m.gauge("subflow.cwnd", l);
+    obs_.srtt_ms = m.gauge("subflow.srtt_ms", l);
+    obs_.rtt_sample_ms = m.histogram("subflow.rtt_sample_ms", l);
+    obs_.cwnd.set(sim_.now(), cwnd_);
+  }
 }
 
 CongestionController::AckContext Subflow::make_ctx() const {
@@ -38,6 +55,7 @@ void Subflow::set_cwnd(double cwnd) {
   cwnd = std::max(cwnd, config_.min_cwnd);
   if (cwnd == cwnd_) return;
   cwnd_ = cwnd;
+  obs_.cwnd.set(sim_.now(), cwnd_);
   if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
 }
 
@@ -58,6 +76,9 @@ void Subflow::maybe_idle_reset() {
   if (cwnd_ > config_.initial_cwnd) {
     ++stats_.iw_resets;
     ++stats_.idle_resets;
+    obs_.idle_resets.inc();
+    MPS_TRACE_EVENT(sim_, EventType::kIdleReset, config_.conn_id, config_.id,
+                    {"old_cwnd", cwnd_}, {"idle_s", idle.to_seconds()});
     // RFC 2861 congestion window validation, as in Linux
     // tcp_cwnd_application_limited: remember the achieved operating point in
     // ssthresh so slow start can return to 3/4 of it quickly.
@@ -120,10 +141,15 @@ void Subflow::send_segment(std::uint64_t data_seq, std::uint32_t payload, bool r
   last_send_time_ = sim_.now();
   if (reinjection) {
     ++stats_.reinjected_segments;
+    obs_.reinjections_carried.inc();
   } else {
     ++stats_.segments_sent;
     stats_.bytes_sent += payload;
+    obs_.segments_sent.inc();
   }
+  MPS_TRACE_EVENT(sim_, EventType::kPktSend, config_.conn_id, config_.id,
+                  {"seq", pkt.subflow_seq}, {"dseq", data_seq}, {"len", payload},
+                  {"reinjection", reinjection}, {"cwnd", cwnd_});
   if (!rto_timer_.pending()) arm_rto();
 }
 
@@ -140,6 +166,9 @@ void Subflow::penalize() {
   if (!last_penalty_.is_never() && now - last_penalty_ < rtt_estimate()) return;
   last_penalty_ = now;
   ++stats_.penalizations;
+  obs_.penalizations.inc();
+  MPS_TRACE_EVENT(sim_, EventType::kPenalize, config_.conn_id, config_.id,
+                  {"cwnd", cwnd_});
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
   set_cwnd(ssthresh_);
 }
@@ -191,13 +220,21 @@ void Subflow::process_new_ack(const Packet& ack) {
 
   // Karn's algorithm: only sample RTT from echoes of original transmissions.
   if (!ack.ts_retransmit) {
-    rtt_.add_sample(sim_.now() - ack.ts_val);
+    const Duration sample = sim_.now() - ack.ts_val;
+    rtt_.add_sample(sample);
     ++stats_.rtt_samples;
+    obs_.srtt_ms.set(sim_.now(), rtt_.srtt().to_millis());
+    obs_.rtt_sample_ms.record(sample.to_millis());
   }
+  MPS_TRACE_EVENT(sim_, EventType::kPktAck, config_.conn_id, config_.id,
+                  {"ack", ack.ack_seq}, {"acked", acked_segments},
+                  {"srtt_ms", rtt_.srtt().to_millis()}, {"cwnd", cwnd_});
 
   if (in_recovery_) {
     if (ack.ack_seq >= recover_point_) {
       in_recovery_ = false;
+      MPS_TRACE_EVENT(sim_, EventType::kRecoveryExit, config_.conn_id, config_.id,
+                      {"ack", ack.ack_seq}, {"ssthresh", ssthresh_});
       set_cwnd(ssthresh_);
     }
     // Partial acks: loss marking + the retransmission pump (caller) handle
@@ -284,12 +321,16 @@ void Subflow::update_loss_marks() {
         seg.lost = true;
         ++lost_not_rtx_;
         newly_lost = true;
+        MPS_TRACE_EVENT(sim_, EventType::kLossMark, config_.conn_id, config_.id,
+                        {"seq", seq}, {"rule", "rack"});
       }
       continue;
     }
     seg.lost = true;
     ++lost_not_rtx_;
     newly_lost = true;
+    MPS_TRACE_EVENT(sim_, EventType::kLossMark, config_.conn_id, config_.id,
+                    {"seq", seq}, {"rule", "fack"});
   }
   if (newly_lost && !in_recovery_) enter_fast_recovery();
   arm_rack_timer();
@@ -319,10 +360,13 @@ void Subflow::enter_fast_recovery() {
   in_recovery_ = true;
   recover_point_ = next_seq_;  // recovery ends once everything sent so far acks
   cc_->on_loss_event(make_ctx());
+  MPS_TRACE_EVENT(sim_, EventType::kFastRecovery, config_.conn_id, config_.id,
+                  {"cwnd", cwnd_}, {"recover_point", recover_point_});
   ssthresh_ = std::max(cwnd_ * cc_->loss_factor(), config_.min_cwnd);
   set_cwnd(ssthresh_);
   inter_loss_bytes_ = 0.0;
   ++stats_.fast_retransmits;
+  obs_.fast_recoveries.inc();
 }
 
 void Subflow::pump_retransmissions() {
@@ -357,6 +401,9 @@ void Subflow::retransmit(std::uint64_t seq, SentSeg& seg) {
   path_.down().send(pkt);
   last_send_time_ = sim_.now();
   ++stats_.retransmits;
+  obs_.retransmits.inc();
+  MPS_TRACE_EVENT(sim_, EventType::kPktRetransmit, config_.conn_id, config_.id,
+                  {"seq", seq}, {"dseq", seg.data_seq}, {"len", seg.payload});
   arm_rto();
 }
 
@@ -369,6 +416,10 @@ void Subflow::on_rto_fire() {
   if (inflight_.empty()) return;
   ++stats_.rto_events;
   ++stats_.iw_resets;  // back into slow start from a minimal window
+  obs_.rtos.inc();
+  MPS_TRACE_EVENT(sim_, EventType::kRtoFire, config_.conn_id, config_.id,
+                  {"backoff", rto_backoff_}, {"cwnd", cwnd_},
+                  {"inflight", static_cast<std::uint64_t>(inflight_.size())});
   cc_->on_rto(make_ctx());
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
   set_cwnd(config_.min_cwnd);

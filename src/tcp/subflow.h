@@ -19,6 +19,8 @@
 
 #include "net/packet.h"
 #include "net/path.h"
+#include "obs/hook.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "tcp/rtt.h"
@@ -156,8 +158,10 @@ class Subflow {
   const char* cc_name() const { return cc_->name(); }
   double inter_loss_bytes() const { return inter_loss_bytes_; }
 
-  // Invoked on every CWND change with (time, cwnd); used by trace sinks.
-  std::function<void(TimePoint, double)> on_cwnd_change;
+  // Fired on every CWND change with (time, cwnd); used by trace sinks.
+  // Multi-listener: several tracers (and the flight recorder) compose
+  // instead of overwriting each other.
+  Hook<TimePoint, double> on_cwnd_change;
 
  private:
   struct SentSeg {
@@ -235,6 +239,16 @@ class Subflow {
 
   SubflowStats stats_;
   std::uint64_t transmit_counter_ = 0;
+
+  // Flight-recorder instruments; no-op handles when the owning Simulator has
+  // no recorder attached (see obs/metrics.h naming convention in DESIGN.md).
+  struct Instruments {
+    Counter segments_sent, retransmits, fast_recoveries, rtos, idle_resets;
+    Counter penalizations, reinjections_carried;
+    Gauge cwnd, srtt_ms;
+    Histogram rtt_sample_ms;
+  };
+  Instruments obs_;
 };
 
 // Client-side receiver for one subflow: enforces subflow-level in-order

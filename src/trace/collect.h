@@ -12,40 +12,71 @@
 
 namespace mps {
 
-// Records every CWND change of a subflow (paper Figs. 11/12).
+// Records every CWND change of a subflow (paper Figs. 11/12). Registers as
+// one listener on the subflow's on_cwnd_change hook, so several tracers (or
+// a tracer plus the flight recorder) can observe the same subflow; the
+// listener is removed on destruction.
 class CwndTracer {
  public:
-  explicit CwndTracer(Subflow& sf) {
-    sf.on_cwnd_change = [this](TimePoint t, double cwnd) { series_.add(t, cwnd); };
+  explicit CwndTracer(Subflow& sf) : sf_(&sf) {
+    hook_id_ = sf.on_cwnd_change.add(
+        [this](TimePoint t, double cwnd) { series_.add(t, cwnd); });
     series_.add(TimePoint::origin(), sf.cwnd());
   }
+  ~CwndTracer() {
+    if (sf_ != nullptr) sf_->on_cwnd_change.remove(hook_id_);
+  }
+  CwndTracer(const CwndTracer&) = delete;
+  CwndTracer& operator=(const CwndTracer&) = delete;
+
   const TimeSeries& series() const { return series_; }
 
  private:
+  Subflow* sf_;
+  Hook<TimePoint, double>::Id hook_id_{};
   TimeSeries series_;
 };
 
 // Samples a value periodically (paper Fig. 3's send-buffer occupancy).
+// `until` bounds the sampling: once the simulation clock passes it, the
+// sampler stops rescheduling itself, so Simulator::run() (which drains the
+// event queue) terminates. The default never-deadline preserves the old
+// behaviour for run_until()-style drivers.
 class PeriodicSampler {
  public:
-  PeriodicSampler(Simulator& sim, Duration interval, std::function<double()> probe)
-      : sim_(sim), interval_(interval), probe_(std::move(probe)), timer_(sim) {
+  PeriodicSampler(Simulator& sim, Duration interval, std::function<double()> probe,
+                  TimePoint until = TimePoint::never())
+      : sim_(sim), interval_(interval), until_(until), probe_(std::move(probe)), timer_(sim) {
     tick();
   }
+
+  // Stops future samples; already-recorded points are kept.
+  void stop() {
+    running_ = false;
+    timer_.cancel();
+  }
+  bool running() const { return running_; }
 
   const TimeSeries& series() const { return series_; }
 
  private:
   void tick() {
+    if (!running_) return;
     series_.add(sim_.now(), probe_());
+    if (!until_.is_never() && sim_.now() + interval_ > until_) {
+      running_ = false;
+      return;
+    }
     timer_.schedule_after(interval_, [this] { tick(); });
   }
 
   Simulator& sim_;
   Duration interval_;
+  TimePoint until_;
   std::function<double()> probe_;
   Timer timer_;
   TimeSeries series_;
+  bool running_ = true;
 };
 
 // Per-subflow send-buffer occupancy: staged (scheduled, awaiting CWND) plus

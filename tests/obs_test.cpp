@@ -1,0 +1,334 @@
+// Tests for the observability subsystem (src/obs): metrics registry
+// semantics, the JSONL event schema, multi-listener hooks, and the flight
+// recorder's scheduler decision log — including the replay contract that a
+// recorded ECF decision's Algorithm 1 terms reproduce the live verdict.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "core/ecf.h"
+#include "exp/testbed.h"
+#include "obs/hook.h"
+#include "obs/recorder.h"
+#include "sched/registry.h"
+#include "test_util.h"
+#include "trace/collect.h"
+
+namespace mps {
+namespace {
+
+MetricLabels labels(std::int64_t conn = -1, std::int64_t subflow = -1) {
+  MetricLabels l;
+  l.conn = conn;
+  l.subflow = subflow;
+  return l;
+}
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(MetricsTest, CounterSharedStorageAndDetachedNoop) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("x.count", labels(1));
+  Counter b = reg.counter("x.count", labels(1));  // same name+labels: shared
+  Counter c = reg.counter("x.count", labels(2));  // different labels: distinct
+  a.inc();
+  b.inc(4);
+  c.inc(7);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_EQ(reg.total("x.count"), 12u);
+
+  Counter detached;  // default-constructed handle: every operation is a no-op
+  EXPECT_FALSE(detached.attached());
+  detached.inc(100);
+  EXPECT_EQ(detached.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeKeepsSeriesWhenEnabled) {
+  MetricsRegistry reg;
+  Gauge plain = reg.gauge("g.plain");
+  reg.set_keep_series(true);
+  Gauge traced = reg.gauge("g.traced", labels(-1, 0));
+
+  plain.set(TimePoint::from_ns(0), 1.0);
+  plain.set(TimePoint::from_ns(5), 2.0);
+  traced.set(TimePoint::from_ns(0), 10.0);
+  traced.set(TimePoint::from_ns(5), 20.0);
+
+  EXPECT_DOUBLE_EQ(plain.value(), 2.0);
+  EXPECT_EQ(reg.series("g.plain", {}), nullptr);  // created before keep_series
+
+  const TimeSeries* ts = reg.series("g.traced", labels(-1, 0));
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->size(), 2u);
+  EXPECT_DOUBLE_EQ(ts->points()[1].value, 20.0);
+}
+
+TEST(MetricsTest, HistogramAggregatesAndQuantiles) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h.lat");
+  for (double v : {0.5, 1.0, 2.0, 4.0, 8.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.5);
+
+  const Instrument* inst = reg.find("h.lat", {});
+  ASSERT_NE(inst, nullptr);
+  EXPECT_DOUBLE_EQ(inst->hist.mean(), 3.1);
+  EXPECT_DOUBLE_EQ(inst->hist.quantile(0.0), 0.5);  // exact min
+  EXPECT_DOUBLE_EQ(inst->hist.quantile(1.0), 8.0);  // exact max
+  // Median falls in the bucket whose upper bound is 2^1.
+  EXPECT_DOUBLE_EQ(inst->hist.quantile(0.5), 2.0);
+
+  Histogram detached;
+  detached.record(42.0);
+  EXPECT_EQ(detached.count(), 0u);
+}
+
+// --- JSONL sink -------------------------------------------------------------
+
+TEST(JsonlSinkTest, GoldenSchema) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  FlightRecorder rec;
+  rec.set_event_sink(&sink);
+
+  const TimePoint t = TimePoint::origin() + Duration::millis(1500);
+  rec.record_event(t, EventType::kPktSend, 1, 0,
+                   {{"seq", std::uint64_t{42}},
+                    {"rtt", 0.25},
+                    {"dup", true},
+                    {"why", "queue \"x\""}});
+
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.500000000,\"ev\":\"pkt_send\",\"conn\":1,\"sf\":0,"
+            "\"seq\":42,\"rtt\":0.25,\"dup\":true,\"why\":\"queue \\\"x\\\"\"}\n");
+  EXPECT_EQ(sink.events_written(), 1u);
+  EXPECT_EQ(rec.events_recorded(), 1u);
+}
+
+TEST(JsonlSinkTest, UnscopedEventOmitsConnAndSubflow) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.on_event(TimePoint::origin(), EventType::kLinkDrop, -1, -1, nullptr, 0);
+  EXPECT_EQ(os.str(), "{\"t\":0.000000000,\"ev\":\"link_drop\"}\n");
+}
+
+TEST(TraceMacroTest, FieldsNotEvaluatedWithoutSink) {
+  Simulator sim;
+  int evals = 0;
+
+  // No recorder attached: the site must not materialize its fields.
+  MPS_TRACE_EVENT(sim, EventType::kPktSend, 1, 0, {"n", (++evals, 1.0)});
+  EXPECT_EQ(evals, 0);
+
+  FlightRecorder rec;
+  sim.set_recorder(&rec);
+  // Recorder but no sink: still short-circuits.
+  MPS_TRACE_EVENT(sim, EventType::kPktSend, 1, 0, {"n", (++evals, 1.0)});
+  EXPECT_EQ(evals, 0);
+
+  VectorSink sink;
+  rec.set_event_sink(&sink);
+  MPS_TRACE_EVENT(sim, EventType::kPktSend, 1, 0, {"n", (++evals, 1.0)});
+#ifdef MPS_TRACE_DISABLED
+  // -DMPS_TRACE_EVENTS=OFF compiles every site out entirely.
+  EXPECT_EQ(evals, 0);
+  EXPECT_TRUE(sink.events().empty());
+#else
+  EXPECT_EQ(evals, 1);
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.events()[0].f64("n"), 1.0);
+#endif
+}
+
+// --- hooks ------------------------------------------------------------------
+
+TEST(HookTest, MultipleListenersFireInOrderAndDetach) {
+  Hook<int> hook;
+  std::vector<int> seen;
+  const auto id_a = hook.add([&](int v) { seen.push_back(v); });
+  hook.add([&](int v) { seen.push_back(v * 10); });
+
+  hook(3);
+  EXPECT_EQ(seen, (std::vector<int>{3, 30}));
+
+  hook.remove(id_a);
+  hook(4);
+  EXPECT_EQ(seen, (std::vector<int>{3, 30, 40}));
+  hook.remove(id_a);  // double-remove is a no-op
+  EXPECT_EQ(hook.size(), 1u);
+}
+
+TEST(HookTest, SingleSlotAssignmentCompatibility) {
+  Hook<int> hook;
+  EXPECT_FALSE(static_cast<bool>(hook));
+  int last = 0;
+  hook = [&](int v) { last = v; };
+  hook.add([&](int v) { last += v; });
+  EXPECT_EQ(hook.size(), 2u);
+
+  hook = [&](int v) { last = -v; };  // assignment replaces all listeners
+  hook(5);
+  EXPECT_EQ(last, -5);
+  EXPECT_EQ(hook.size(), 1u);
+
+  hook = Hook<int>::Fn{};  // assigning an empty function clears the hook
+  EXPECT_TRUE(hook.empty());
+}
+
+TEST(HookTest, TwoCwndTracersObserveTheSameSubflow) {
+  Testbed bed(TestbedConfig{});
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  Subflow& sf = *conn->subflows()[0];
+
+  CwndTracer first(sf);
+  {
+    CwndTracer second(sf);
+    BulkSender sender(*conn, 500'000);
+    bed.sim().run_until(TimePoint::origin() + Duration::seconds(2));
+    EXPECT_GT(second.series().size(), 1u);
+    EXPECT_EQ(second.series().size(), first.series().size());
+  }
+  // `second` detached on destruction; the subflow keeps serving `first`.
+  EXPECT_TRUE(static_cast<bool>(sf.on_cwnd_change));
+}
+
+// --- periodic sampler -------------------------------------------------------
+
+TEST(PeriodicSamplerTest, DeadlineLetsRunDrainTheQueue) {
+  Simulator sim;
+  PeriodicSampler sampler(sim, Duration::millis(100), [] { return 1.0; },
+                          TimePoint::origin() + Duration::seconds(1));
+  sim.run();  // would never return with a free-running sampler
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(sampler.series().size(), 11u);  // samples at 0, 100, ..., 1000 ms
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(1));
+}
+
+TEST(PeriodicSamplerTest, StopCancelsFutureSamples) {
+  Simulator sim;
+  PeriodicSampler sampler(sim, Duration::millis(100), [] { return 2.0; });
+  sim.after(Duration::millis(250), [&] { sampler.stop(); });
+  sim.run();
+  EXPECT_EQ(sampler.series().size(), 3u);  // 0, 100, 200 ms
+  EXPECT_FALSE(sampler.running());
+}
+
+// --- flight recorder integration -------------------------------------------
+
+// One heterogeneous-path ECF run shared by the integration assertions below:
+// WiFi is the 0.3 Mbps straggler, LTE the 8.6 Mbps fast path, so ECF both
+// picks and deliberately waits many times (paper Fig. 11 regime).
+struct RecordedEcfRun {
+  RecordedEcfRun() {
+    rec.set_keep_decisions(true);
+    rec.set_event_sink(&sink);
+    TestbedConfig tb;
+    tb.wifi = wifi_profile(Rate::mbps(0.3));
+    tb.lte = lte_profile(Rate::mbps(8.6));
+    tb.recorder = &rec;
+    bed = std::make_unique<Testbed>(tb);
+    conn = bed->make_connection(scheduler_factory("ecf"));
+    sender = std::make_unique<BulkSender>(*conn, 4'000'000);
+    bed->sim().run_until(TimePoint::origin() + Duration::seconds(60));
+  }
+
+  FlightRecorder rec;
+  VectorSink sink;
+  std::unique_ptr<Testbed> bed;
+  std::unique_ptr<Connection> conn;
+  std::unique_ptr<BulkSender> sender;
+};
+
+TEST(FlightRecorderIntegrationTest, EcfRunRecordsPicksAndDeliberateWaits) {
+  RecordedEcfRun run;
+  EXPECT_GT(run.rec.total_picks(), 0u);
+  EXPECT_GT(run.rec.total_waits(), 0u);
+#ifndef MPS_TRACE_DISABLED
+  // Macro-emitted stack events; compiled out under -DMPS_TRACE_EVENTS=OFF.
+  EXPECT_GT(run.sink.count(EventType::kPktSend), 0u);
+#endif
+  // Decision events are emitted by the recorder itself, not the macro.
+  EXPECT_GT(run.sink.count(EventType::kSchedWait), 0u);
+  EXPECT_EQ(run.sink.count(EventType::kSchedWait), run.rec.total_waits());
+}
+
+TEST(FlightRecorderIntegrationTest, RecordedEcfTermsReplayTheVerdict) {
+  RecordedEcfRun run;
+  std::size_t replayed = 0;
+  std::size_t waits = 0;
+  for (const FlightRecorder::TimedDecision& td : run.rec.decisions()) {
+    const SchedDecision& d = td.d;
+    if (!d.has_ecf_terms) continue;
+    const EcfDecision verdict =
+        ecf_decide(d.k_packets, d.cwnd_f, d.ssthresh_f, d.cwnd_s, d.ssthresh_s, d.rtt_f_s,
+                   d.rtt_s_s, d.delta_s, d.waiting, d.beta, d.staged_f, d.staged_s);
+    if (d.kind == SchedDecision::Kind::kWait) {
+      ASSERT_EQ(verdict, EcfDecision::kWait) << "recorded wait does not replay";
+      ++waits;
+    } else {
+      ASSERT_NE(verdict, EcfDecision::kWait) << "recorded pick replays as a wait";
+    }
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u);
+  EXPECT_GT(waits, 0u);
+  EXPECT_EQ(waits, run.rec.total_waits());
+}
+
+TEST(FlightRecorderIntegrationTest, DecisionCountsAgreeWithMetaAndSubflowStats) {
+  RecordedEcfRun run;
+  // Every successful scheduling round is one recorded pick.
+  EXPECT_EQ(run.rec.total_picks(), run.conn->meta_stats().segments_scheduled);
+
+  const std::int64_t conn_id = run.conn->config().conn_id;
+  const auto& counts = run.rec.decision_counts().at({"ecf", conn_id});
+  std::uint64_t by_subflow = 0;
+  for (const auto& [sf, n] : counts.picks_by_subflow) by_subflow += n;
+  EXPECT_EQ(by_subflow, counts.picks);
+
+  // Registry counters track the stack's own statistics site for site.
+  std::uint64_t stats_sent = 0;
+  for (const Subflow* sf : run.conn->subflows()) {
+    const Instrument* inst = run.rec.metrics().find(
+        "subflow.segments_sent", labels(conn_id, static_cast<std::int64_t>(sf->id())));
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->count, sf->stats().segments_sent);
+    stats_sent += sf->stats().segments_sent;
+  }
+  EXPECT_EQ(run.rec.metrics().total("subflow.segments_sent"), stats_sent);
+  EXPECT_EQ(run.rec.metrics().total("conn.window_stalls"),
+            run.conn->meta_stats().window_stalls);
+}
+
+TEST(FlightRecorderIntegrationTest, SummaryReportsDecisionTotals) {
+  RecordedEcfRun run;
+  std::ostringstream os;
+  run.rec.summarize(os);
+  const std::string out = os.str();
+
+  const auto& counts = run.rec.decision_counts().at({"ecf", 1});
+  EXPECT_NE(out.find("=== flight recorder summary ==="), std::string::npos);
+  EXPECT_NE(out.find("picks=" + std::to_string(counts.picks)), std::string::npos);
+  EXPECT_NE(out.find("waits=" + std::to_string(counts.waits)), std::string::npos);
+  EXPECT_NE(out.find("subflow.segments_sent"), std::string::npos);
+}
+
+TEST(FlightRecorderIntegrationTest, SchedWaitEventsCarryEcfTerms) {
+  RecordedEcfRun run;
+  std::size_t checked = 0;
+  for (const VectorSink::Recorded& ev : run.sink.events()) {
+    if (ev.type != EventType::kSchedWait) continue;
+    EXPECT_GT(ev.f64("cwnd_f"), 0.0);
+    EXPECT_GT(ev.f64("rtt_s"), ev.f64("rtt_f"));  // slow path really is slower
+    EXPECT_GE(ev.f64("k"), 0.0);
+    EXPECT_GT(ev.f64("n_rounds"), 1.0);
+    if (++checked == 50) break;  // schema is identical across records
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace mps
