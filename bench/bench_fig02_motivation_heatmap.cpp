@@ -12,11 +12,15 @@ int main() {
                scale_note());
 
   const auto& grid = paper_bandwidth_grid();
-  std::vector<std::vector<double>> ratio(grid.size(), std::vector<double>(grid.size()));
-  for (std::size_t w = 0; w < grid.size(); ++w) {
-    for (std::size_t l = 0; l < grid.size(); ++l) {
-      const auto r = run_streaming_cell(grid[w], grid[l], "default");
-      ratio[l][w] = r.mean_bitrate_mbps / ideal_bitrate_mbps(grid[w], grid[l]);
+  const std::size_t n = grid.size();
+  const CellConfig cell;  // resolved on the main thread, shared read-only
+  const auto results = sweep_map<StreamingResult>(n * n, [&](std::size_t i) {
+    return run_streaming_cell(grid[i / n], grid[i % n], "default", cell);
+  });
+  std::vector<std::vector<double>> ratio(n, std::vector<double>(n));
+  for (std::size_t w = 0; w < n; ++w) {
+    for (std::size_t l = 0; l < n; ++l) {
+      ratio[l][w] = results[w * n + l].mean_bitrate_mbps / ideal_bitrate_mbps(grid[w], grid[l]);
     }
   }
 

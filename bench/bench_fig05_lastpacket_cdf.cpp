@@ -12,10 +12,11 @@ int main() {
                "Fig. 5 — time difference between last packets (default)", scale_note());
 
   const std::vector<double> wifi_rates = {0.3, 0.7, 1.1, 4.2};
-  std::vector<StreamingResult> results;
+  const CellConfig cell;
+  const auto results = sweep_map<StreamingResult>(wifi_rates.size(), [&](std::size_t i) {
+    return run_streaming_cell(wifi_rates[i], 8.6, "default", cell);
+  });
   std::vector<std::pair<std::string, const Samples*>> series;
-  results.reserve(wifi_rates.size());
-  for (double w : wifi_rates) results.push_back(run_streaming_cell(w, 8.6, "default"));
   for (std::size_t i = 0; i < wifi_rates.size(); ++i) {
     series.emplace_back(pair_label(wifi_rates[i], 8.6) + "Mbps", &results[i].last_packet_gap);
   }

@@ -12,14 +12,26 @@ int main() {
                "Fig. 6 — throughput with/without CWND reset vs ideal (default)", scale_note());
 
   const auto& grid = paper_bandwidth_grid();
+  const std::size_t n = grid.size();
+  CellConfig reset_cell;
+  CellConfig noreset_cell;
+  noreset_cell.idle_reset = false;
+  // Cell index: pair-major, with/without reset interleaved per pair.
+  const auto results = sweep_map<double>(2 * n * n, [&](std::size_t i) {
+    const std::size_t pair = i / 2;
+    const double w = grid[pair / n];
+    const double l = grid[pair % n];
+    const CellConfig& cell = (i % 2 == 0) ? reset_cell : noreset_cell;
+    return run_streaming_cell(w, l, "default", cell).mean_throughput_mbps;
+  });
   std::vector<std::string> pairs;
   std::vector<double> with_reset, without_reset, ideal;
   for (double w : grid) {
     for (double l : grid) {
+      const std::size_t pair = pairs.size();
       pairs.push_back(pair_label(w, l));
-      with_reset.push_back(run_streaming_cell(w, l, "default", false, true).mean_throughput_mbps);
-      without_reset.push_back(
-          run_streaming_cell(w, l, "default", false, false).mean_throughput_mbps);
+      with_reset.push_back(results[2 * pair]);
+      without_reset.push_back(results[2 * pair + 1]);
       ideal.push_back(w + l);
     }
   }

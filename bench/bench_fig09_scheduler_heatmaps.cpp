@@ -19,12 +19,22 @@ int main() {
   int hetero_cells = 0;
   const auto& scheds = paper_schedulers();  // default, ecf, daps, blest
 
+  // One flat sweep over scheduler x WiFi x LTE (scheduler-major).
+  const std::size_t n = grid.size();
+  const CellConfig cell;
+  const auto results = sweep_map<StreamingResult>(scheds.size() * n * n, [&](std::size_t i) {
+    const std::size_t s = i / (n * n);
+    const std::size_t w = (i % (n * n)) / n;
+    const std::size_t l = i % n;
+    return run_streaming_cell(grid[w], grid[l], scheds[s], cell);
+  });
+
   for (std::size_t s = 0; s < scheds.size(); ++s) {
     std::vector<std::vector<double>> ratio(grid.size(), std::vector<double>(grid.size()));
     int hcells = 0;
     for (std::size_t w = 0; w < grid.size(); ++w) {
       for (std::size_t l = 0; l < grid.size(); ++l) {
-        const auto r = run_streaming_cell(grid[w], grid[l], scheds[s]);
+        const auto& r = results[s * n * n + w * n + l];
         const double v = r.mean_bitrate_mbps / ideal_bitrate_mbps(grid[w], grid[l]);
         ratio[l][w] = v;
         mean_ratio[s] += v;

@@ -12,14 +12,23 @@ int main() {
                scale_note());
 
   const auto& grid = paper_bandwidth_grid();
+  const std::size_t n = grid.size();
+  const CellConfig cell;
+  // Cell index: pair-major, BLEST/ECF interleaved per pair.
+  const auto results = sweep_map<double>(2 * n * n, [&](std::size_t i) {
+    const std::size_t pair = i / 2;
+    const char* sched = (i % 2 == 0) ? "blest" : "ecf";
+    return run_streaming_cell(grid[pair / n], grid[pair % n], sched, cell).fraction_fast;
+  });
   std::vector<std::string> pairs;
   std::vector<double> blest, ecf, ideal;
   double err_blest = 0, err_ecf = 0;
   for (double w : grid) {
     for (double l : grid) {
+      const std::size_t pair = pairs.size();
       pairs.push_back(pair_label(w, l));
-      blest.push_back(run_streaming_cell(w, l, "blest").fraction_fast);
-      ecf.push_back(run_streaming_cell(w, l, "ecf").fraction_fast);
+      blest.push_back(results[2 * pair]);
+      ecf.push_back(results[2 * pair + 1]);
       ideal.push_back(ideal_fast_fraction(std::max(w, l), std::min(w, l)));
       err_blest += std::abs(blest.back() - ideal.back());
       err_ecf += std::abs(ecf.back() - ideal.back());

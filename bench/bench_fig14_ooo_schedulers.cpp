@@ -15,11 +15,17 @@ int main() {
   const std::pair<double, double> configs[2] = {{0.3, 8.6}, {4.2, 8.6}};
   const char* names[2] = {"(a) 0.3 Mbps WiFi / 8.6 Mbps LTE", "(b) 4.2 Mbps WiFi / 8.6 Mbps LTE"};
 
+  const CellConfig cell;
+  // One flat sweep over config x scheduler (config-major).
+  const auto all = sweep_map<StreamingResult>(2 * scheds.size(), [&](std::size_t i) {
+    const auto& cfg = configs[i / scheds.size()];
+    return run_streaming_cell(cfg.first, cfg.second, scheds[i % scheds.size()], cell);
+  });
+
   for (int c = 0; c < 2; ++c) {
-    std::vector<StreamingResult> results;
-    for (const auto& s : scheds) {
-      results.push_back(run_streaming_cell(configs[c].first, configs[c].second, s));
-    }
+    std::vector<StreamingResult> results(
+        all.begin() + static_cast<std::ptrdiff_t>(c * scheds.size()),
+        all.begin() + static_cast<std::ptrdiff_t>((c + 1) * scheds.size()));
     std::vector<std::pair<std::string, const Samples*>> series;
     for (std::size_t i = 0; i < scheds.size(); ++i) {
       series.emplace_back(scheds[i], &results[i].ooo_delay);

@@ -19,33 +19,43 @@ int main() {
   const std::vector<std::string> scheds = {"default", "blest", "ecf"};
 
   std::vector<std::string> labels;
-  std::vector<std::vector<double>> tput(static_cast<std::size_t>(scenarios),
-                                        std::vector<double>(scheds.size()));
   double mean[3] = {};
 
+  // One cell per scenario x scheduler; each cell re-derives the scenario's
+  // bandwidth trace from its seed, so traces stay identical across the
+  // schedulers of a scenario without sharing state between cells.
+  const std::size_t ns = scheds.size();
+  const auto flat = sweep_map<double>(
+      static_cast<std::size_t>(scenarios) * ns, [&](std::size_t i) {
+        const int sc = static_cast<int>(i / ns);
+        const std::size_t s = i % ns;
+        Rng rng(1000 + static_cast<std::uint64_t>(sc));
+        Rng wifi_rng = rng.fork();
+        Rng lte_rng = rng.fork();
+        const auto wifi_trace =
+            make_random_bandwidth_trace(wifi_rng, levels, Duration::seconds(40), run_len);
+        const auto lte_trace =
+            make_random_bandwidth_trace(lte_rng, levels, Duration::seconds(40), run_len);
+
+        StreamingParams p;
+        p.wifi_mbps = wifi_trace.front().rate.to_mbps();
+        p.lte_mbps = lte_trace.front().rate.to_mbps();
+        p.wifi_trace = wifi_trace;
+        p.lte_trace = lte_trace;
+        p.scheduler = scheds[s];
+        p.video = run_len;
+        p.seed = 77 + static_cast<std::uint64_t>(sc);
+        return run_streaming(p).mean_throughput_mbps;
+      });
+
+  std::vector<std::vector<double>> tput(static_cast<std::size_t>(scenarios),
+                                        std::vector<double>(scheds.size()));
   for (int sc = 0; sc < scenarios; ++sc) {
     labels.push_back(std::to_string(sc + 1));
-    // One bandwidth trace per scenario, identical across schedulers.
-    Rng rng(1000 + static_cast<std::uint64_t>(sc));
-    Rng wifi_rng = rng.fork();
-    Rng lte_rng = rng.fork();
-    const auto wifi_trace =
-        make_random_bandwidth_trace(wifi_rng, levels, Duration::seconds(40), run_len);
-    const auto lte_trace =
-        make_random_bandwidth_trace(lte_rng, levels, Duration::seconds(40), run_len);
-
-    for (std::size_t s = 0; s < scheds.size(); ++s) {
-      StreamingParams p;
-      p.wifi_mbps = wifi_trace.front().rate.to_mbps();
-      p.lte_mbps = lte_trace.front().rate.to_mbps();
-      p.wifi_trace = wifi_trace;
-      p.lte_trace = lte_trace;
-      p.scheduler = scheds[s];
-      p.video = run_len;
-      p.seed = 77 + static_cast<std::uint64_t>(sc);
-      const auto r = run_streaming(p);
-      tput[static_cast<std::size_t>(sc)][s] = r.mean_throughput_mbps;
-      mean[s] += r.mean_throughput_mbps;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double v = flat[static_cast<std::size_t>(sc) * ns + s];
+      tput[static_cast<std::size_t>(sc)][s] = v;
+      mean[s] += v;
     }
   }
 

@@ -15,19 +15,28 @@ int main() {
   const auto& scheds = paper_schedulers();
   const int runs = bench_scale().wget_runs;
 
-  for (std::uint64_t kb : sizes_kb) {
+  // One flat sweep over size x LTE rate x scheduler (size-major).
+  const std::size_t ns = scheds.size();
+  const auto flat = sweep_map<double>(sizes_kb.size() * 10 * ns, [&](std::size_t i) {
+    const std::uint64_t kb = sizes_kb[i / (10 * ns)];
+    const int lte = static_cast<int>((i / ns) % 10) + 1;
+    DownloadParams p;
+    p.wifi_mbps = 1.0;
+    p.lte_mbps = lte;
+    p.bytes = kb * 1024;
+    p.scheduler = scheds[i % ns];
+    p.seed = 10 * static_cast<std::uint64_t>(lte);
+    return run_download_samples(p, runs).mean();
+  });
+
+  for (std::size_t k = 0; k < sizes_kb.size(); ++k) {
+    const std::uint64_t kb = sizes_kb[k];
     std::vector<std::string> rows = int_labels(1, 10);
     std::vector<std::vector<double>> mean_s(rows.size(), std::vector<double>(scheds.size()));
     for (int lte = 1; lte <= 10; ++lte) {
       for (std::size_t s = 0; s < scheds.size(); ++s) {
-        DownloadParams p;
-        p.wifi_mbps = 1.0;
-        p.lte_mbps = lte;
-        p.bytes = kb * 1024;
-        p.scheduler = scheds[s];
-        p.seed = 10 * static_cast<std::uint64_t>(lte);
-        const Samples samples = run_download_samples(p, runs);
-        mean_s[static_cast<std::size_t>(lte - 1)][s] = samples.mean();
+        mean_s[static_cast<std::size_t>(lte - 1)][s] =
+            flat[k * 10 * ns + static_cast<std::size_t>(lte - 1) * ns + s];
       }
     }
     print_grouped(std::cout,

@@ -20,26 +20,38 @@ int main() {
   std::vector<std::string> labels;
   for (int v : points) labels.push_back(std::to_string(v));
 
+  // One cell per (size, WiFi, LTE): both schedulers run inside the cell so
+  // they share the seeds exactly as before.
+  const std::size_t np = points.size();
+  const auto flat = sweep_map<double>(sizes_kb.size() * np * np, [&](std::size_t i) {
+    const std::uint64_t kb = sizes_kb[i / (np * np)];
+    const std::size_t wi = (i / np) % np;
+    const std::size_t li = i % np;
+    DownloadParams p;
+    p.wifi_mbps = points[wi];
+    p.lte_mbps = points[li];
+    p.bytes = kb * 1024;
+    p.seed = 100 * static_cast<std::uint64_t>(wi) + static_cast<std::uint64_t>(li);
+    p.scheduler = "default";
+    const Samples def = run_download_samples(p, runs);
+    p.scheduler = "ecf";
+    const Samples ecf = run_download_samples(p, runs);
+    // Paper: set to 1 when within one standard deviation of each other.
+    const double band = std::max(def.stddev(), ecf.stddev());
+    double r = 1.0;
+    if (std::abs(ecf.mean() - def.mean()) > band && def.mean() > 0) {
+      r = ecf.mean() / def.mean();
+    }
+    return r;
+  });
+
   int worse_cells = 0, better_cells = 0;
-  for (std::uint64_t kb : sizes_kb) {
+  for (std::size_t k = 0; k < sizes_kb.size(); ++k) {
+    const std::uint64_t kb = sizes_kb[k];
     std::vector<std::vector<double>> ratio(points.size(), std::vector<double>(points.size()));
     for (std::size_t wi = 0; wi < points.size(); ++wi) {
       for (std::size_t li = 0; li < points.size(); ++li) {
-        DownloadParams p;
-        p.wifi_mbps = points[wi];
-        p.lte_mbps = points[li];
-        p.bytes = kb * 1024;
-        p.seed = 100 * static_cast<std::uint64_t>(wi) + static_cast<std::uint64_t>(li);
-        p.scheduler = "default";
-        const Samples def = run_download_samples(p, runs);
-        p.scheduler = "ecf";
-        const Samples ecf = run_download_samples(p, runs);
-        // Paper: set to 1 when within one standard deviation of each other.
-        const double band = std::max(def.stddev(), ecf.stddev());
-        double r = 1.0;
-        if (std::abs(ecf.mean() - def.mean()) > band && def.mean() > 0) {
-          r = ecf.mean() / def.mean();
-        }
+        const double r = flat[k * np * np + wi * np + li];
         ratio[li][wi] = r;
         if (r > 1.05) ++worse_cells;
         if (r < 0.95) ++better_cells;

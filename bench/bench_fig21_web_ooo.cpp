@@ -14,17 +14,24 @@ int main() {
   const char* names[3] = {"(a) 5.0/5.0 Mbps", "(b) 1.0/5.0 Mbps", "(c) 1.0/10.0 Mbps"};
   const auto& scheds = paper_schedulers();
 
+  // One flat sweep over config x scheduler (config-major).
+  const std::size_t ns = scheds.size();
+  const int web_runs = bench_scale().web_runs;
+  const auto all = sweep_map<WebRunResult>(3 * ns, [&](std::size_t i) {
+    const int c = static_cast<int>(i / ns);
+    WebRunParams p;
+    p.wifi_mbps = configs[c].first;
+    p.lte_mbps = configs[c].second;
+    p.scheduler = scheds[i % ns];
+    p.runs = web_runs;
+    p.seed = 400 + static_cast<std::uint64_t>(c);
+    return run_web(p);
+  });
+
   for (int c = 0; c < 3; ++c) {
-    std::vector<WebRunResult> results;
-    for (const auto& s : scheds) {
-      WebRunParams p;
-      p.wifi_mbps = configs[c].first;
-      p.lte_mbps = configs[c].second;
-      p.scheduler = s;
-      p.runs = bench_scale().web_runs;
-      p.seed = 400 + static_cast<std::uint64_t>(c);
-      results.push_back(run_web(p));
-    }
+    std::vector<WebRunResult> results(
+        all.begin() + static_cast<std::ptrdiff_t>(c * static_cast<int>(ns)),
+        all.begin() + static_cast<std::ptrdiff_t>((c + 1) * static_cast<int>(ns)));
     std::vector<std::pair<std::string, const Samples*>> series;
     for (std::size_t i = 0; i < scheds.size(); ++i) {
       series.emplace_back(scheds[i], &results[i].ooo_delay);

@@ -15,36 +15,42 @@ int main() {
   std::printf("\n%6s %12s %12s %14s %14s %12s\n", "run", "wifi rtt", "lte rtt", "default Mbps",
               "ecf Mbps", "ecf gain");
 
-  double mean_def = 0, mean_ecf = 0;
-  for (const auto& profile : runs) {
-    double tput[2] = {};
+  // One cell per profile x scheduler (profile-major, default then ECF); the
+  // jitter traces are re-derived per cell from the profile's seed, identical
+  // for both schedulers.
+  const Duration video = bench_scale().video;
+  const auto results = sweep_map<StreamingResult>(runs.size() * 2, [&](std::size_t i) {
+    const auto& profile = runs[i / 2];
     const char* scheds[2] = {"default", "ecf"};
-    double rtt_wifi_ms = 0;
-    for (int s = 0; s < 2; ++s) {
-      StreamingParams p;
-      p.use_path_overrides = true;
-      p.wifi_override = profile.wifi;
-      p.lte_override = profile.lte;
-      p.wifi_mbps = profile.wifi.down_rate.to_mbps();
-      p.lte_mbps = profile.lte.down_rate.to_mbps();
-      p.scheduler = scheds[s];
-      p.video = bench_scale().video;
-      p.seed = 500 + static_cast<std::uint64_t>(profile.run_index);
-      // Unregulated real networks fluctuate: add the profile's rate jitter,
-      // identical for both schedulers.
-      Rng jitter_rng(9000 + static_cast<std::uint64_t>(profile.run_index));
-      Rng wifi_rng = jitter_rng.fork();
-      Rng lte_rng = jitter_rng.fork();
-      p.wifi_trace = make_wild_jitter_trace(wifi_rng, profile.wifi.down_rate,
-                                            profile.rate_jitter_frac,
-                                            profile.jitter_interval, p.video);
-      p.lte_trace = make_wild_jitter_trace(lte_rng, profile.lte.down_rate,
-                                           profile.rate_jitter_frac,
-                                           profile.jitter_interval, p.video);
-      const auto r = run_streaming(p);
-      tput[s] = r.mean_throughput_mbps;
-      if (s == 0) rtt_wifi_ms = r.mean_rtt_wifi_ms;
-    }
+    StreamingParams p;
+    p.use_path_overrides = true;
+    p.wifi_override = profile.wifi;
+    p.lte_override = profile.lte;
+    p.wifi_mbps = profile.wifi.down_rate.to_mbps();
+    p.lte_mbps = profile.lte.down_rate.to_mbps();
+    p.scheduler = scheds[i % 2];
+    p.video = video;
+    p.seed = 500 + static_cast<std::uint64_t>(profile.run_index);
+    // Unregulated real networks fluctuate: add the profile's rate jitter,
+    // identical for both schedulers.
+    Rng jitter_rng(9000 + static_cast<std::uint64_t>(profile.run_index));
+    Rng wifi_rng = jitter_rng.fork();
+    Rng lte_rng = jitter_rng.fork();
+    p.wifi_trace = make_wild_jitter_trace(wifi_rng, profile.wifi.down_rate,
+                                          profile.rate_jitter_frac,
+                                          profile.jitter_interval, p.video);
+    p.lte_trace = make_wild_jitter_trace(lte_rng, profile.lte.down_rate,
+                                         profile.rate_jitter_frac,
+                                         profile.jitter_interval, p.video);
+    return run_streaming(p);
+  });
+
+  double mean_def = 0, mean_ecf = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const auto& profile = runs[r];
+    const double tput[2] = {results[2 * r].mean_throughput_mbps,
+                            results[2 * r + 1].mean_throughput_mbps};
+    const double rtt_wifi_ms = results[2 * r].mean_rtt_wifi_ms;
     mean_def += tput[0];
     mean_ecf += tput[1];
     std::printf("%6d %10.0fms %10dms %14.2f %14.2f %11.0f%%\n", profile.run_index, rtt_wifi_ms,

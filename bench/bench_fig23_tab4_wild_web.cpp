@@ -12,18 +12,18 @@ int main() {
                "Fig. 23 / Table 4 — in-the-wild web browsing, default vs ECF", scale_note());
 
   const WildRunProfile profile = wild_web_profile();
-  WebRunResult results[2];
-  const char* scheds[2] = {"default", "ecf"};
-  for (int s = 0; s < 2; ++s) {
+  const int web_runs = bench_scale().web_runs;
+  const auto results = sweep_map<WebRunResult>(2, [&](std::size_t s) {
+    const char* scheds[2] = {"default", "ecf"};
     WebRunParams p;
     p.use_path_overrides = true;
     p.wifi_override = profile.wifi;
     p.lte_override = profile.lte;
     p.scheduler = scheds[s];
-    p.runs = bench_scale().web_runs;
+    p.runs = web_runs;
     p.seed = 600;
-    results[s] = run_web(p);
-  }
+    return run_web(p);
+  });
 
   {
     std::vector<std::pair<std::string, const Samples*>> series = {

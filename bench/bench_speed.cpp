@@ -1,0 +1,222 @@
+// Performance microbench: the repo's perf trajectory anchor.
+//
+// Two measurements, written to BENCH_speed.json (path overridable as
+// argv[1]) so successive PRs can compare:
+//
+//  * kernel: events/sec through the EventQueue under the stack's dominant
+//    churn pattern (every pop schedules a near-future replacement and
+//    restarts a far-future RTO-style timer via cancel+reschedule). Run both
+//    on the current queue and on a replica of the seed's queue
+//    (std::function storage, pending-id hash set, lazy tombstone cancel) so
+//    the speedup is measured, not asserted.
+//  * grid: wall-clock for the Fig. 9 reference sweep (6x6 bandwidth grid x
+//    4 schedulers) serially and with MPS_BENCH_JOBS workers (default:
+//    hardware concurrency) through the SweepRunner.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+
+#include "bench/common.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace mps::bench {
+namespace {
+
+// ---- seed-replica queue ----------------------------------------------------
+// Copy of the pre-overhaul EventQueue (heap of full entries, pending-id
+// unordered_set, cancelled entries dropped lazily at the root only).
+class LegacyEventQueue {
+ public:
+  EventId schedule(TimePoint when, std::function<void()> fn) {
+    const EventId id = next_id_++;
+    heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    pending_.insert(id);
+    return id;
+  }
+
+  void cancel(EventId id) { pending_.erase(id); }
+
+  bool empty() const { return pending_.empty(); }
+
+  struct Fired {
+    TimePoint when;
+    std::function<void()> fn;
+  };
+  Fired pop() {
+    drop_dead_top();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(e.id);
+    return Fired{e.when, std::move(e.fn)};
+  }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_top() {
+    while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+// ---- kernel churn ----------------------------------------------------------
+
+constexpr std::size_t kLiveTransmissions = 1024;
+constexpr std::size_t kLiveTimers = 256;
+constexpr std::uint64_t kChurnPops = 1'000'000;
+
+// Keeps the churn payload observable so the loop can't be optimized away.
+volatile std::uint64_t g_churn_sink = 0;
+
+// Each pop: fire, schedule a near-future replacement (a link transmission),
+// and restart one far-future timer (the per-ACK RTO pattern). Capture three
+// words, the typical closure size across the stack.
+template <typename Queue>
+double churn_events_per_sec() {
+  Queue q;
+  std::uint64_t sink = 0;
+  std::uint64_t now_ns = 0;
+  std::uint64_t ticks = 0;
+  Rng rng(42);
+  auto payload = [&sink, &now_ns, &ticks] { sink += now_ns + ++ticks; };
+
+  std::vector<EventId> timer_ids(kLiveTimers);
+  for (std::size_t i = 0; i < kLiveTransmissions; ++i) {
+    q.schedule(TimePoint::from_ns(static_cast<std::int64_t>(1 + rng.uniform_int(1'000'000))),
+               payload);
+  }
+  for (std::size_t i = 0; i < kLiveTimers; ++i) {
+    timer_ids[i] = q.schedule(
+        TimePoint::from_ns(static_cast<std::int64_t>(200'000'000 + rng.uniform_int(1'000'000))),
+        payload);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t pops = 0; pops < kChurnPops; ++pops) {
+    auto fired = q.pop();
+    now_ns = static_cast<std::uint64_t>(fired.when.ns());
+    fired.fn();
+    // Replacement transmission, 50us..1ms out.
+    q.schedule(
+        TimePoint::from_ns(static_cast<std::int64_t>(now_ns + 50'000 + rng.uniform_int(950'000))),
+        payload);
+    // RTO restart: cancel + reschedule 200ms out.
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(kLiveTimers));
+    q.cancel(timer_ids[k]);
+    timer_ids[k] = q.schedule(
+        TimePoint::from_ns(static_cast<std::int64_t>(now_ns + 200'000'000)), payload);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  g_churn_sink = sink;
+  // Reported as pops/sec so the number maps directly to Simulator events/sec
+  // (each pop also carries one schedule and one cancel+reschedule).
+  return static_cast<double>(kChurnPops) / secs;
+}
+
+// ---- reference grid --------------------------------------------------------
+
+double grid_sweep_seconds(int jobs, const CellConfig& cell) {
+  const auto& grid = paper_bandwidth_grid();
+  const auto& scheds = paper_schedulers();
+  const std::size_t n = grid.size();
+  const std::size_t cells = scheds.size() * n * n;
+  const auto start = std::chrono::steady_clock::now();
+  SweepRunner runner(SweepOptions{jobs});
+  std::vector<double> out(cells);
+  runner.run(cells, [&](std::size_t i) {
+    const std::size_t s = i / (n * n);
+    const std::size_t w = (i % (n * n)) / n;
+    const std::size_t l = i % n;
+    out[i] = run_streaming_cell(grid[w], grid[l], scheds[s], cell).mean_bitrate_mbps;
+  });
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+}  // namespace mps::bench
+
+int main(int argc, char** argv) {
+  using namespace mps;
+  using namespace mps::bench;
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_speed.json";
+  print_header(std::cout, "bench_speed",
+               "perf microbench — kernel events/sec + Fig. 9 grid cells/sec", scale_note());
+
+  std::printf("\nkernel churn (%llu pops, %zu live transmissions, %zu timers):\n",
+              static_cast<unsigned long long>(kChurnPops), kLiveTransmissions, kLiveTimers);
+  const double seed_eps = churn_events_per_sec<LegacyEventQueue>();
+  const double eps = churn_events_per_sec<EventQueue>();
+  std::printf("  seed queue      %12.0f events/s\n", seed_eps);
+  std::printf("  current queue   %12.0f events/s  (%.2fx)\n", eps, eps / seed_eps);
+
+  const CellConfig cell;  // current MPS_BENCH_SCALE, resolved once
+  const auto& grid = paper_bandwidth_grid();
+  const int cells = static_cast<int>(paper_schedulers().size() * grid.size() * grid.size());
+  const int jobs = sweep_jobs();
+  std::printf("\nFig. 9 reference grid (%d cells):\n", cells);
+  const double serial_s = grid_sweep_seconds(1, cell);
+  std::printf("  serial          %8.2f s  (%.1f cells/s)\n", serial_s, cells / serial_s);
+  const double parallel_s = grid_sweep_seconds(jobs, cell);
+  std::printf("  %2d job(s)       %8.2f s  (%.1f cells/s, %.2fx)\n", jobs, parallel_s,
+              cells / parallel_s, serial_s / parallel_s);
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror("bench_speed: fopen");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_speed\",\n"
+               "  \"scale\": \"%s\",\n"
+               "  \"kernel\": {\n"
+               "    \"pops\": %llu,\n"
+               "    \"live_transmissions\": %zu,\n"
+               "    \"live_timers\": %zu,\n"
+               "    \"events_per_sec\": %.0f,\n"
+               "    \"seed_events_per_sec\": %.0f,\n"
+               "    \"speedup_vs_seed\": %.3f\n"
+               "  },\n"
+               "  \"grid\": {\n"
+               "    \"cells\": %d,\n"
+               "    \"jobs\": %d,\n"
+               "    \"serial_s\": %.3f,\n"
+               "    \"parallel_s\": %.3f,\n"
+               "    \"cells_per_sec_serial\": %.2f,\n"
+               "    \"cells_per_sec_parallel\": %.2f,\n"
+               "    \"speedup\": %.3f\n"
+               "  }\n"
+               "}\n",
+               bench_scale().name.c_str(), static_cast<unsigned long long>(kChurnPops),
+               kLiveTransmissions, kLiveTimers, eps, seed_eps, eps / seed_eps, cells, jobs,
+               serial_s, parallel_s, cells / serial_s, cells / parallel_s, serial_s / parallel_s);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

@@ -14,10 +14,15 @@ int main() {
   static constexpr double kPaperWifiMs[6] = {969, 413, 273, 196, 87, 40};
   static constexpr double kPaperLteMs[6] = {858, 416, 268, 210, 131, 105};
 
+  const CellConfig cell;
+  const auto results = sweep_map<StreamingResult>(grid.size(), [&](std::size_t i) {
+    return run_streaming_cell(grid[i], grid[i], "default", cell);
+  });
+
   std::printf("%10s %14s %14s %14s %14s\n", "Mbps", "wifi (ms)", "paper wifi", "lte (ms)",
               "paper lte");
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto r = run_streaming_cell(grid[i], grid[i], "default");
+    const auto& r = results[i];
     std::printf("%10.1f %14.0f %14.0f %14.0f %14.0f\n", grid[i], r.mean_rtt_wifi_ms,
                 kPaperWifiMs[i], r.mean_rtt_lte_ms, kPaperLteMs[i]);
   }

@@ -16,11 +16,15 @@ int main() {
   const double scale_to_paper = 1332.0 / bench_scale().video.to_seconds();
 
   const auto& scheds = paper_schedulers();
+  const CellConfig cell;
+  const auto results = sweep_map<StreamingResult>(scheds.size(), [&](std::size_t i) {
+    return run_streaming_cell(0.3, 8.6, scheds[i], cell);
+  });
+
   std::printf("%10s %16s %22s %14s\n", "scheduler", "measured", "scaled to 1332s", "paper");
   std::vector<double> measured;
   for (std::size_t i = 0; i < scheds.size(); ++i) {
-    const auto r = run_streaming_cell(0.3, 8.6, scheds[i]);
-    const double m = static_cast<double>(r.iw_resets_lte);
+    const double m = static_cast<double>(results[i].iw_resets_lte);
     measured.push_back(m);
     // paper_schedulers() order: default, ecf, daps, blest -> map to paper's
     // column order per name.

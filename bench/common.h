@@ -14,6 +14,7 @@
 #include "exp/ideal.h"
 #include "exp/scale.h"
 #include "exp/streaming.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "exp/webrun.h"
 #include "net/wild.h"
@@ -55,18 +56,34 @@ inline void print_recorder_summary(std::ostream& os, const std::string& label,
   rec.summarize(os);
 }
 
-// Streaming run with bench-scale defaults applied.
+// Per-cell state bundle for sweep workers. Everything a cell needs — scale
+// parameters, RNG base seed, an optional flight recorder — is captured here
+// on the main thread before a sweep fans out, so the cell helpers never
+// reach for ambient globals from a worker thread. Defaults replicate the
+// historical behavior (current MPS_BENCH_SCALE, seed 1, no recorder).
+struct CellConfig {
+  BenchScale scale = bench_scale();
+  std::uint64_t seed = 1;
+  bool collect_traces = false;
+  bool idle_reset = true;
+  // Borrowed, may be null; when set it must be exclusive to this cell for
+  // the duration of the run (FlightRecorder is single-threaded).
+  FlightRecorder* recorder = nullptr;
+};
+
+// Streaming run with the cell's scale settings applied.
 inline StreamingResult run_streaming_cell(double wifi, double lte, const std::string& sched,
-                                          bool collect_traces = false,
-                                          bool idle_reset = true) {
+                                          const CellConfig& cell = {}) {
   StreamingParams p;
   p.wifi_mbps = wifi;
   p.lte_mbps = lte;
   p.scheduler = sched;
-  p.video = bench_scale().video;
-  p.collect_traces = collect_traces;
-  p.idle_cwnd_reset = idle_reset;
-  return run_streaming_avg(p, bench_scale().streaming_runs);
+  p.video = cell.scale.video;
+  p.seed = cell.seed;
+  p.collect_traces = cell.collect_traces;
+  p.idle_cwnd_reset = cell.idle_reset;
+  p.recorder = cell.recorder;
+  return run_streaming_avg(p, cell.scale.streaming_runs);
 }
 
 }  // namespace mps::bench

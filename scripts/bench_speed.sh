@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Perf trajectory: builds Release (bench-speed preset) and refreshes
+# BENCH_speed.json at the repo root so PRs can compare kernel events/sec and
+# grid cells/sec against the committed baseline.
+#
+#   scripts/bench_speed.sh            # write/update BENCH_speed.json
+#   MPS_BENCH_JOBS=8 scripts/bench_speed.sh   # pin the parallel phase
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset bench-speed >/dev/null
+else
+  # CMake without preset support (< 3.21): equivalent manual configure.
+  cmake -S . -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build build-release -j "$(nproc)" --target bench_speed
+./build-release/bench/bench_speed BENCH_speed.json
+echo "bench_speed.sh: BENCH_speed.json updated"

@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh               # RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize    # additionally run the suite under ASan+UBSan
+#   scripts/check.sh --tsan        # additionally run the sweep/kernel tests under TSan
 #   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
 #
 # Exits non-zero on the first failing step.
@@ -12,29 +13,43 @@ cd "$(dirname "$0")/.."
 
 run_suite() {
   local build_dir="$1"; shift
+  local filter="$1"; shift
   cmake -S . -B "$build_dir" "$@" >/dev/null
   cmake --build "$build_dir" -j "$(nproc)"
-  ctest --test-dir "$build_dir" --output-on-failure
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$build_dir" --output-on-failure -R "$filter"
+  else
+    ctest --test-dir "$build_dir" --output-on-failure
+  fi
 }
 
 sanitize=0
+tsan=0
 notrace=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
+    --tsan) tsan=1 ;;
     --notrace) notrace=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-run_suite build -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 if [[ "$sanitize" == 1 ]]; then
-  run_suite build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=ON
+  run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  # The thread pool and everything it runs, vetted under ThreadSanitizer:
+  # sweep-runner tests (parallel determinism) plus the event-kernel tests.
+  run_suite build-tsan "Sweep|EventQueue|Simulator|Timer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=thread
 fi
 
 if [[ "$notrace" == 1 ]]; then
-  run_suite build-notrace -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_TRACE_EVENTS=OFF
+  run_suite build-notrace "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_TRACE_EVENTS=OFF
 fi
 
 echo "check.sh: all requested suites passed"

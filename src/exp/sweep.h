@@ -1,0 +1,55 @@
+// Parallel sweep engine: runs the independent cells of a parameter sweep
+// (bandwidth grids, scheduler cross-products, seeded scenario repeats) on a
+// thread pool.
+//
+// Determinism contract: each cell owns its whole world — Simulator,
+// FlightRecorder, seeded RNGs — so a cell computes bit-identical results no
+// matter which worker runs it or in what order. Callers collect results *by
+// cell index* and render only after run() returns; output is then
+// byte-identical to a serial sweep. MPS_BENCH_JOBS=1 restores strictly
+// serial in-order execution.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mps {
+
+// Worker count for sweeps: MPS_BENCH_JOBS when set to a positive integer,
+// otherwise std::thread::hardware_concurrency() (at least 1). Read per call,
+// so tests may change the environment between sweeps.
+int sweep_jobs();
+
+struct SweepOptions {
+  int jobs = 0;  // 0 = resolve via sweep_jobs()
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  // Executes cell(0..n-1), blocking until all complete. jobs()==1 (or n<=1)
+  // runs inline in index order with no threads. Cells must not touch shared
+  // mutable state; the first exception thrown by any cell is rethrown here
+  // after the pool drains.
+  void run(std::size_t n, const std::function<void(std::size_t)>& cell) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+// Convenience: maps cell(i) -> R over [0, n), collecting results by index.
+// R must be default-constructible.
+template <typename R, typename F>
+std::vector<R> sweep_map(std::size_t n, F&& cell, SweepOptions opts = {}) {
+  std::vector<R> out(n);
+  SweepRunner runner(opts);
+  runner.run(n, [&out, &cell](std::size_t i) { out[i] = cell(i); });
+  return out;
+}
+
+}  // namespace mps

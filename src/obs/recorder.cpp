@@ -63,8 +63,10 @@ void print_labels(std::ostream& os, const MetricLabels& l) {
   }
   std::string tag;
   if (l.conn >= 0) tag += "conn=" + std::to_string(l.conn);
-  if (l.subflow >= 0) tag += (tag.empty() ? "" : " ") + std::string("sf=") +
-                             std::to_string(l.subflow);
+  if (l.subflow >= 0) {
+    if (!tag.empty()) tag += ' ';
+    tag += "sf=" + std::to_string(l.subflow);
+  }
   std::snprintf(buf, sizeof(buf), "%-14s", tag.c_str());
   os << buf;
 }

@@ -14,6 +14,10 @@
 //    (obs/decision.h), aggregated always and kept in full on request.
 //
 // summarize() prints the end-of-run report the bench/exp drivers attach.
+//
+// Thread confinement: a recorder is single-threaded state, owned by one
+// simulation world. Parallel sweeps (exp/sweep.h) give every cell its own
+// recorder and never share one across workers; nothing here is locked.
 #pragma once
 
 #include <cstdint>

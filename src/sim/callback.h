@@ -1,0 +1,114 @@
+// Small-buffer-optimized callback storage for the event kernel.
+//
+// The event loop's dominant churn is scheduling closures that capture one or
+// two pointers (every link transmission, every RTO restart). std::function
+// heap-allocates once captures outgrow its tiny internal buffer (16 bytes on
+// libstdc++) and requires copyability; Callback instead keeps up to
+// kInlineBytes of capture state inline in the queue's slot arena, accepts
+// move-only callables, and only falls back to the heap for oversized ones.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mps {
+
+class Callback {
+ public:
+  // Inline capacity. Sized so a captured std::function (32 bytes on
+  // libstdc++) plus a pointer still fits; every closure the stack schedules
+  // today is at most that big.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst from src and destroys src's residue.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void move_from(Callback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mps

@@ -1,42 +1,94 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace mps {
 
-EventId EventQueue::schedule(TimePoint when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  return id;
+EventId EventQueue::schedule(TimePoint when, Callback fn) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+
+  const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  s.heap_pos = pos;
+  sift_up(pos);
+  return make_id(slot, s.generation);
 }
 
 void EventQueue::cancel(EventId id) {
-  pending_.erase(id);
-}
-
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  if (id == kInvalidEventId) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.generation != static_cast<std::uint32_t>(id >> 32) || s.heap_pos == kNotInHeap) {
+    return;  // already fired, already cancelled, or a stale id on a reused slot
   }
-}
-
-TimePoint EventQueue::next_time() {
-  drop_dead_top();
-  return heap_.empty() ? TimePoint::never() : heap_.front().when;
+  remove_from_heap(s.heap_pos);
+  release(slot);
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_dead_top();
   assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const std::uint32_t slot = heap_.front();
+  Slot& s = slots_[slot];
+  Fired fired{s.when, std::move(s.fn)};
+  remove_from_heap(0);
+  release(slot);
+  return fired;
+}
+
+void EventQueue::sift_up(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!earlier(slot, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, slot);
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], slot)) break;
+    place(pos, heap_[child]);
+    pos = child;
+  }
+  place(pos, slot);
+}
+
+void EventQueue::remove_from_heap(std::uint32_t pos) {
+  slots_[heap_[pos]].heap_pos = kNotInHeap;
+  const std::uint32_t last = heap_.back();
   heap_.pop_back();
-  pending_.erase(e.id);
-  return Fired{e.when, std::move(e.fn)};
+  if (pos == heap_.size()) return;  // removed the tail entry
+  place(pos, last);
+  // The moved entry may violate order in either direction.
+  sift_down(pos);
+  sift_up(slots_[last].heap_pos);
+}
+
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.heap_pos = kNotInHeap;
+  ++s.generation;
+  free_.push_back(slot);
 }
 
 }  // namespace mps

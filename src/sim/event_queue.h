@@ -1,16 +1,22 @@
 // Discrete-event engine primitives: the pending-event queue.
 //
 // Events scheduled at the same timestamp fire in scheduling order (FIFO),
-// which keeps runs deterministic regardless of heap internals. Cancellation
-// is lazy: cancelled entries stay in the heap and are skipped on pop, but a
-// pending-id set keeps size()/empty() exact at all times.
+// which keeps runs deterministic regardless of heap internals.
+//
+// Storage is a generation-stamped slot arena plus an indexed binary heap of
+// slot numbers: schedule/cancel/reschedule — the per-ACK RTO churn — touch
+// no hash table and, once the arena is warm and the closure fits Callback's
+// inline buffer, perform no heap allocation. cancel() removes the entry from
+// the heap immediately (O(log n) sift), so cancelled events never linger as
+// tombstones and size()/empty() are exact by construction. Stale ids are
+// rejected by the slot's generation stamp, making cancel-after-fire and
+// cancel-after-reuse safe no-ops.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "util/time.h"
 
 namespace mps {
@@ -23,46 +29,65 @@ class EventQueue {
   // Schedules `fn` at absolute time `when`. Returns an id usable with
   // cancel(). Owners must cancel events capturing them before destruction
   // (see Timer for the RAII wrapper).
-  EventId schedule(TimePoint when, std::function<void()> fn);
+  EventId schedule(TimePoint when, Callback fn);
 
   // Cancels a pending event. Cancelling an already-fired or unknown id is a
   // no-op.
   void cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   // Time of the earliest live event; TimePoint::never() when empty.
-  TimePoint next_time();
+  TimePoint next_time() const {
+    return heap_.empty() ? TimePoint::never() : slots_[heap_.front()].when;
+  }
 
   struct Fired {
     TimePoint when;
-    std::function<void()> fn;
+    Callback fn;
   };
   // Pops and returns the earliest live event. Precondition: !empty().
   Fired pop();
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNotInHeap = ~std::uint32_t{0};
+
+  struct Slot {
     TimePoint when;
-    std::uint64_t seq;  // FIFO tie-break among equal timestamps
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq = 0;        // FIFO tie-break among equal timestamps
+    std::uint32_t generation = 1; // bumped on release; stale ids never match
+    std::uint32_t heap_pos = kNotInHeap;
+    Callback fn;
   };
 
-  // Removes heap entries whose id is no longer pending (cancelled).
-  void drop_dead_top();
+  // Ids pack (generation, slot + 1); the +1 keeps kInvalidEventId unused.
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | (slot + 1);
+  }
 
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
+  bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void place(std::uint32_t pos, std::uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+  // Detaches heap_[pos] from the heap and restores heap order.
+  void remove_from_heap(std::uint32_t pos);
+  // Returns the slot to the free list (destroys its callback).
+  void release(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot numbers, min-heap by (when, seq)
+  std::vector<std::uint32_t> free_;  // released slot numbers, reused LIFO
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace mps

@@ -5,7 +5,7 @@
 
 namespace mps {
 
-EventId Simulator::at(TimePoint when, std::function<void()> fn) {
+EventId Simulator::at(TimePoint when, Callback fn) {
   if (when < now_) {
     throw std::logic_error("Simulator::at: scheduling into the past");
   }

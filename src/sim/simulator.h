@@ -11,8 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/callback.h"
 #include "sim/event_queue.h"
 #include "util/time.h"
 
@@ -35,14 +35,14 @@ class Simulator {
   FlightRecorder* recorder() const { return recorder_; }
 
   // Schedule at an absolute time (must be >= now()).
-  EventId at(TimePoint when, std::function<void()> fn);
+  EventId at(TimePoint when, Callback fn);
   // Schedule after a delay from now.
-  EventId after(Duration delay, std::function<void()> fn) {
+  EventId after(Duration delay, Callback fn) {
     return at(now_ + delay, std::move(fn));
   }
   // Schedule to run at the current time, after already-queued same-time
   // events (useful to break call-stack re-entrancy).
-  EventId post(std::function<void()> fn) { return at(now_, std::move(fn)); }
+  EventId post(Callback fn) { return at(now_, std::move(fn)); }
 
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -75,6 +75,10 @@ class Simulator {
 // RAII one-shot timer. Owns at most one pending event; rescheduling or
 // destroying the timer cancels the previous event, so callbacks can never
 // fire into a destroyed owner.
+//
+// The user callback lives in the timer itself, so the closure handed to the
+// event queue captures only `this` — a reschedule (every ACK restarts the
+// RTO timer) moves the new callback into place and never heap-allocates.
 class Timer {
  public:
   explicit Timer(Simulator& sim) : sim_(sim) {}
@@ -82,17 +86,14 @@ class Timer {
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
-  void schedule_at(TimePoint when, std::function<void()> fn) {
+  void schedule_at(TimePoint when, Callback fn) {
     cancel();
+    fn_ = std::move(fn);
     deadline_ = when;
-    id_ = sim_.at(when, [this, fn = std::move(fn)] {
-      id_ = kInvalidEventId;
-      deadline_ = TimePoint::never();
-      fn();
-    });
+    id_ = sim_.at(when, [this] { fire(); });
   }
 
-  void schedule_after(Duration delay, std::function<void()> fn) {
+  void schedule_after(Duration delay, Callback fn) {
     schedule_at(sim_.now() + delay, std::move(fn));
   }
 
@@ -101,6 +102,7 @@ class Timer {
       sim_.cancel(id_);
       id_ = kInvalidEventId;
       deadline_ = TimePoint::never();
+      fn_.reset();
     }
   }
 
@@ -108,9 +110,19 @@ class Timer {
   TimePoint deadline() const { return deadline_; }
 
  private:
+  void fire() {
+    id_ = kInvalidEventId;
+    deadline_ = TimePoint::never();
+    // Move the callback out first so it may freely reschedule this timer.
+    Callback fn = std::move(fn_);
+    fn_.reset();
+    fn();
+  }
+
   Simulator& sim_;
   EventId id_ = kInvalidEventId;
   TimePoint deadline_ = TimePoint::never();
+  Callback fn_;
 };
 
 }  // namespace mps

@@ -65,6 +65,145 @@ TEST(EventQueueTest, EmptyAfterAllCancelled) {
   EXPECT_TRUE(q.next_time().is_never());
 }
 
+TEST(EventQueueTest, StaleIdAfterSlotReuseIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(TimePoint::from_ns(10), [&] { fired = 1; });
+  q.cancel(a);
+  // The freed slot is reused by the next schedule; the old id must not be
+  // able to reach through to the new occupant.
+  const EventId b = q.schedule(TimePoint::from_ns(20), [&] { fired = 2; });
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 2);
+  (void)b;
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(TimePoint::from_ns(10), [&] { ++fired; });
+  q.schedule(TimePoint::from_ns(20), [&] { ++fired; });
+  q.pop().fn();  // fires a
+  q.cancel(a);   // stale; must not disturb the remaining entry
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+// Regression for dead-entry accumulation: a workload that cancels nearly
+// everything it schedules (the RTO-restart pattern) must keep size() exact —
+// cancelled entries may not linger in the queue in any observable way.
+TEST(EventQueueTest, SizeStaysExactUnderCancelHeavyChurn) {
+  EventQueue q;
+  std::uint64_t lcg = 42;
+  auto rnd = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % mod;
+  };
+  std::vector<EventId> live;
+  for (int i = 0; i < 20000; ++i) {
+    const auto when = TimePoint::from_ns(static_cast<std::int64_t>(rnd(1000)));
+    live.push_back(q.schedule(when, [] {}));
+    // Cancel a random live entry ~95% of the time: the live set stays tiny
+    // while churn is huge, so any tombstoning would show up as size() drift.
+    if (rnd(100) < 95 && !live.empty()) {
+      const std::size_t k = rnd(live.size());
+      q.cancel(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    ASSERT_EQ(q.size(), live.size());
+  }
+  EXPECT_LT(q.size(), 2000u);
+  std::size_t popped = 0;
+  TimePoint prev = TimePoint::from_ns(-1);
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.when.ns(), prev.ns());
+    prev = ev.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, live.size());
+}
+
+// Property test: run a random schedule/cancel/pop workload against a naive
+// reference model and require identical firing order — including the FIFO
+// tie-break among equal timestamps — and identical size() at every step.
+TEST(EventQueueTest, ChurnMatchesReferenceModel) {
+  struct Ref {
+    std::int64_t when;
+    std::uint64_t order;  // global insertion counter = FIFO tie-break key
+    int tag;
+  };
+  EventQueue q;
+  std::vector<Ref> model;               // live entries, unordered
+  std::vector<std::pair<EventId, std::size_t>> ids;  // queue id -> tag
+  std::vector<int> fired_queue, fired_model;
+  std::uint64_t order = 0;
+  int tag = 0;
+  std::uint64_t lcg = 7;
+  auto rnd = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % mod;
+  };
+  auto model_pop = [&model]() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < model.size(); ++i) {
+      if (model[i].when < model[best].when ||
+          (model[i].when == model[best].when &&
+           model[i].order < model[best].order)) {
+        best = i;
+      }
+    }
+    const int t = model[best].tag;
+    model.erase(model.begin() + static_cast<std::ptrdiff_t>(best));
+    return t;
+  };
+  for (int step = 0; step < 8000; ++step) {
+    const std::uint64_t op = rnd(10);
+    if (op < 5 || model.empty()) {
+      // Coarse timestamps force plenty of same-time collisions so the FIFO
+      // tie-break is actually exercised.
+      const std::int64_t when = static_cast<std::int64_t>(rnd(50));
+      const int t = tag++;
+      ids.emplace_back(
+          q.schedule(TimePoint::from_ns(when),
+                     [&fired_queue, t] { fired_queue.push_back(t); }),
+          static_cast<std::size_t>(t));
+      model.push_back({when, order++, t});
+    } else if (op < 8) {
+      const std::size_t k = rnd(ids.size());
+      q.cancel(ids[k].first);
+      const int t = static_cast<int>(ids[k].second);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(k));
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (model[i].tag == t) {
+          model.erase(model.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      q.pop().fn();
+      fired_model.push_back(model_pop());
+      const int t = fired_model.back();
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (static_cast<int>(ids[i].second) == t) {
+          ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(q.size(), model.size()) << "after step " << step;
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+    fired_model.push_back(model_pop());
+  }
+  EXPECT_EQ(fired_queue, fired_model);
+  EXPECT_TRUE(model.empty());
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator sim;
   TimePoint seen;
