@@ -19,17 +19,13 @@ int main() {
                 lte, ideal_bitrate_mbps(wifi, lte));
     std::printf("%10s %12s %12s %14s\n", "cc", "default", "ecf", "ecf gain");
     for (CcKind cc : kinds) {
-      StreamingParams p;
-      p.wifi_mbps = wifi;
-      p.lte_mbps = lte;
-      p.cc = cc;
-      p.video = bench_scale().video;
-      p.scheduler = "default";
+      ScenarioSpec spec = streaming_spec(wifi, lte, "default");
+      spec.conn.cc = cc_kind_name(cc);
       const double def =
-          run_streaming(p).mean_bitrate_mbps / ideal_bitrate_mbps(wifi, lte);
-      p.scheduler = "ecf";
+          run_streaming(spec).mean_bitrate_mbps / ideal_bitrate_mbps(wifi, lte);
+      spec.scheduler = "ecf";
       const double ecf =
-          run_streaming(p).mean_bitrate_mbps / ideal_bitrate_mbps(wifi, lte);
+          run_streaming(spec).mean_bitrate_mbps / ideal_bitrate_mbps(wifi, lte);
       std::printf("%10s %12.3f %12.3f %13.0f%%\n", cc_kind_name(cc), def, ecf,
                   def > 0 ? (ecf / def - 1.0) * 100.0 : 0.0);
     }

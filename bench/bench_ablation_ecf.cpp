@@ -20,16 +20,14 @@ int main() {
     std::printf("%10s %14s %14s %14s\n", "beta", "bitrate ratio", "gap p50 (s)",
                 "lte IW resets");
     for (double beta : {0.0, 0.1, 0.25, 0.5, 1.0}) {
-      StreamingParams p;
-      p.wifi_mbps = wifi;
-      p.lte_mbps = lte;
-      p.video = bench_scale().video;
-      p.scheduler_override = [beta] {
+      const ScenarioSpec spec = streaming_spec(wifi, lte, "default");
+      ScenarioRunOptions opts;
+      opts.scheduler_override = [beta] {
         EcfConfig config;
         config.beta = beta;
         return std::make_unique<EcfScheduler>(config);
       };
-      const auto r = run_streaming(p);
+      const auto r = run_streaming(spec, opts);
       std::printf("%10.2f %14.3f %14.3f %14llu\n", beta,
                   r.mean_bitrate_mbps / ideal_bitrate_mbps(wifi, lte),
                   r.last_packet_gap.quantile(0.5),

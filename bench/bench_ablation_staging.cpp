@@ -14,15 +14,11 @@ int main() {
   std::printf("\n0.3 Mbps WiFi / 8.6 Mbps LTE, bitrate ratio vs ideal\n");
   std::printf("%14s %12s %12s %14s\n", "staging (KB)", "default", "ecf", "ecf gain");
   for (std::uint64_t kb : {16, 32, 64, 128, 256}) {
-    StreamingParams p;
-    p.wifi_mbps = 0.3;
-    p.lte_mbps = 8.6;
-    p.video = bench_scale().video;
-    p.staging_bytes = kb * 1024;
-    p.scheduler = "default";
-    const double def = run_streaming(p).mean_bitrate_mbps / ideal_bitrate_mbps(0.3, 8.6);
-    p.scheduler = "ecf";
-    const double ecf = run_streaming(p).mean_bitrate_mbps / ideal_bitrate_mbps(0.3, 8.6);
+    ScenarioSpec spec = streaming_spec(0.3, 8.6, "default");
+    spec.conn.staging_bytes = static_cast<std::int64_t>(kb * 1024);
+    const double def = run_streaming(spec).mean_bitrate_mbps / ideal_bitrate_mbps(0.3, 8.6);
+    spec.scheduler = "ecf";
+    const double ecf = run_streaming(spec).mean_bitrate_mbps / ideal_bitrate_mbps(0.3, 8.6);
     std::printf("%14llu %12.3f %12.3f %13.0f%%\n", static_cast<unsigned long long>(kb), def,
                 ecf, def > 0 ? (ecf / def - 1.0) * 100.0 : 0.0);
   }

@@ -11,13 +11,9 @@ int main() {
   print_header(std::cout, "bench_fig03_sndbuf_trace",
                "Fig. 3 — send buffer occupancy, 0.3 Mbps WiFi / 8.6 Mbps LTE", scale_note());
 
-  StreamingParams p;
-  p.wifi_mbps = 0.3;
-  p.lte_mbps = 8.6;
-  p.scheduler = "default";
-  p.video = bench_scale().video;
-  p.collect_traces = true;
-  const auto r = run_streaming(p);
+  ScenarioSpec spec = streaming_spec(0.3, 8.6, "default");
+  spec.record.collect_traces = true;
+  const auto r = run_streaming(spec);
 
   // The paper shows a 20 s steady-state window; print the same length from
   // mid-run in KB.

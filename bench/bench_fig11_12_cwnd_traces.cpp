@@ -18,14 +18,11 @@ int main() {
   std::vector<std::unique_ptr<FlightRecorder>> recorders;
   for (const auto& s : scheds) {
     recorders.push_back(std::make_unique<FlightRecorder>());
-    StreamingParams p;
-    p.wifi_mbps = 0.3;
-    p.lte_mbps = 8.6;
-    p.scheduler = s;
-    p.video = bench_scale().video;
-    p.collect_traces = true;
-    p.recorder = recorders.back().get();
-    results.push_back(run_streaming(p));
+    ScenarioSpec spec = streaming_spec(0.3, 8.6, s);
+    spec.record.collect_traces = true;
+    ScenarioRunOptions opts;
+    opts.recorder = recorders.back().get();
+    results.push_back(run_streaming(spec, opts));
   }
 
   const TimePoint from = TimePoint::origin();

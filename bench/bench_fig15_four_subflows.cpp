@@ -16,13 +16,9 @@ int main() {
 
   for (int s = 0; s < 2; ++s) {
     for (std::size_t l = 0; l < grid.size(); ++l) {
-      StreamingParams p;
-      p.wifi_mbps = 0.3;
-      p.lte_mbps = grid[l];
-      p.scheduler = scheds[s];
-      p.subflows_per_path = 2;
-      p.video = bench_scale().video;
-      const auto r = run_streaming_avg(p, bench_scale().streaming_runs);
+      ScenarioSpec spec = streaming_spec(0.3, grid[l], scheds[s]);
+      spec.subflows_per_path = 2;
+      const auto r = run_scenario(spec).streaming;
       ratio[s][l] = r.mean_bitrate_mbps / ideal_bitrate_mbps(0.3, grid[l]);
     }
   }

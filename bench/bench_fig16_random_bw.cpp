@@ -12,8 +12,7 @@ int main() {
   print_header(std::cout, "bench_fig16_random_bw",
                "Fig. 16 — streaming throughput, random bandwidth changes", scale_note());
 
-  const std::vector<Rate> levels = {Rate::mbps(0.3), Rate::mbps(1.1), Rate::mbps(1.7),
-                                    Rate::mbps(4.2), Rate::mbps(8.6)};
+  const std::vector<double> levels = {0.3, 1.1, 1.7, 4.2, 8.6};
   const int scenarios = bench_scale().random_scenarios;
   const Duration run_len = bench_scale().random_run;
   const std::vector<std::string> scheds = {"default", "blest", "ecf"};
@@ -22,30 +21,23 @@ int main() {
   double mean[3] = {};
 
   // One cell per scenario x scheduler; each cell re-derives the scenario's
-  // bandwidth trace from its seed, so traces stay identical across the
+  // bandwidth trace from its trace_seed, so traces stay identical across the
   // schedulers of a scenario without sharing state between cells.
   const std::size_t ns = scheds.size();
   const auto flat = sweep_map<double>(
       static_cast<std::size_t>(scenarios) * ns, [&](std::size_t i) {
         const int sc = static_cast<int>(i / ns);
         const std::size_t s = i % ns;
-        Rng rng(1000 + static_cast<std::uint64_t>(sc));
-        Rng wifi_rng = rng.fork();
-        Rng lte_rng = rng.fork();
-        const auto wifi_trace =
-            make_random_bandwidth_trace(wifi_rng, levels, Duration::seconds(40), run_len);
-        const auto lte_trace =
-            make_random_bandwidth_trace(lte_rng, levels, Duration::seconds(40), run_len);
-
-        StreamingParams p;
-        p.wifi_mbps = wifi_trace.front().rate.to_mbps();
-        p.lte_mbps = lte_trace.front().rate.to_mbps();
-        p.wifi_trace = wifi_trace;
-        p.lte_trace = lte_trace;
-        p.scheduler = scheds[s];
-        p.video = run_len;
-        p.seed = 77 + static_cast<std::uint64_t>(sc);
-        return run_streaming(p).mean_throughput_mbps;
+        ScenarioSpec spec = streaming_spec(8.6, 8.6, scheds[s]);
+        for (PathSpec& path : spec.paths) {
+          path.variation.kind = VariationKind::kRandom;
+          path.variation.levels_mbps = levels;
+          path.variation.mean_interval_s = 40.0;
+        }
+        spec.workload.video_s = run_len.to_seconds();
+        spec.seed = 77 + static_cast<std::uint64_t>(sc);
+        spec.trace_seed = 1000 + static_cast<std::uint64_t>(sc);
+        return run_streaming(spec).mean_throughput_mbps;
       });
 
   std::vector<std::vector<double>> tput(static_cast<std::size_t>(scenarios),

@@ -10,30 +10,24 @@ int main() {
   print_header(std::cout, "bench_fig17_chunk_trace",
                "Fig. 17 — per-chunk throughput, random bandwidth scenario", scale_note());
 
-  const std::vector<Rate> levels = {Rate::mbps(0.3), Rate::mbps(1.1), Rate::mbps(1.7),
-                                    Rate::mbps(4.2), Rate::mbps(8.6)};
+  const std::vector<double> levels = {0.3, 1.1, 1.7, 4.2, 8.6};
   const Duration run_len = bench_scale().random_run;
-  // "Scenario 6" of the fig16 seeding.
-  Rng rng(1000 + 5);
-  Rng wifi_rng = rng.fork();
-  Rng lte_rng = rng.fork();
-  const auto wifi_trace =
-      make_random_bandwidth_trace(wifi_rng, levels, Duration::seconds(40), run_len);
-  const auto lte_trace =
-      make_random_bandwidth_trace(lte_rng, levels, Duration::seconds(40), run_len);
 
   StreamingResult results[2];
   const char* scheds[2] = {"default", "ecf"};
   for (int s = 0; s < 2; ++s) {
-    StreamingParams p;
-    p.wifi_mbps = wifi_trace.front().rate.to_mbps();
-    p.lte_mbps = lte_trace.front().rate.to_mbps();
-    p.wifi_trace = wifi_trace;
-    p.lte_trace = lte_trace;
-    p.scheduler = scheds[s];
-    p.video = run_len;
-    p.seed = 77 + 5;
-    results[s] = run_streaming(p);
+    // "Scenario 6" of the fig16 seeding; the builder re-derives the same
+    // bandwidth traces from trace_seed for both schedulers.
+    ScenarioSpec spec = streaming_spec(8.6, 8.6, scheds[s]);
+    for (PathSpec& path : spec.paths) {
+      path.variation.kind = VariationKind::kRandom;
+      path.variation.levels_mbps = levels;
+      path.variation.mean_interval_s = 40.0;
+    }
+    spec.workload.video_s = run_len.to_seconds();
+    spec.seed = 77 + 5;
+    spec.trace_seed = 1000 + 5;
+    results[s] = run_streaming(spec);
   }
 
   std::printf("\n%10s %14s %14s\n", "chunk", "default", "ecf");

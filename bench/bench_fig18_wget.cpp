@@ -20,13 +20,9 @@ int main() {
   const auto flat = sweep_map<double>(sizes_kb.size() * 10 * ns, [&](std::size_t i) {
     const std::uint64_t kb = sizes_kb[i / (10 * ns)];
     const int lte = static_cast<int>((i / ns) % 10) + 1;
-    DownloadParams p;
-    p.wifi_mbps = 1.0;
-    p.lte_mbps = lte;
-    p.bytes = kb * 1024;
-    p.scheduler = scheds[i % ns];
-    p.seed = 10 * static_cast<std::uint64_t>(lte);
-    return run_download_samples(p, runs).mean();
+    const ScenarioSpec spec = download_spec(1.0, lte, scheds[i % ns], kb * 1024,
+                                            10 * static_cast<std::uint64_t>(lte), runs);
+    return run_scenario(spec).download_completions.mean();
   });
 
   for (std::size_t k = 0; k < sizes_kb.size(); ++k) {

@@ -27,15 +27,13 @@ int main() {
     const std::uint64_t kb = sizes_kb[i / (np * np)];
     const std::size_t wi = (i / np) % np;
     const std::size_t li = i % np;
-    DownloadParams p;
-    p.wifi_mbps = points[wi];
-    p.lte_mbps = points[li];
-    p.bytes = kb * 1024;
-    p.seed = 100 * static_cast<std::uint64_t>(wi) + static_cast<std::uint64_t>(li);
-    p.scheduler = "default";
-    const Samples def = run_download_samples(p, runs);
-    p.scheduler = "ecf";
-    const Samples ecf = run_download_samples(p, runs);
+    ScenarioSpec spec =
+        download_spec(points[wi], points[li], "default", kb * 1024,
+                      100 * static_cast<std::uint64_t>(wi) + static_cast<std::uint64_t>(li),
+                      runs);
+    const Samples def = run_scenario(spec).download_completions;
+    spec.scheduler = "ecf";
+    const Samples ecf = run_scenario(spec).download_completions;
     // Paper: set to 1 when within one standard deviation of each other.
     const double band = std::max(def.stddev(), ecf.stddev());
     double r = 1.0;

@@ -20,13 +20,8 @@ int main() {
   const int web_runs = bench_scale().web_runs;
   const auto all = sweep_map<WebRunResult>(3 * ns, [&](std::size_t i) {
     const int c = static_cast<int>(i / ns);
-    WebRunParams p;
-    p.wifi_mbps = configs[c].first;
-    p.lte_mbps = configs[c].second;
-    p.scheduler = scheds[i % ns];
-    p.runs = web_runs;
-    p.seed = 300 + static_cast<std::uint64_t>(c);
-    return run_web(p);
+    return run_web(web_spec(configs[c].first, configs[c].second, scheds[i % ns],
+                            300 + static_cast<std::uint64_t>(c), web_runs));
   });
 
   for (int c = 0; c < 3; ++c) {

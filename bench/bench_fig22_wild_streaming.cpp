@@ -22,27 +22,13 @@ int main() {
   const auto results = sweep_map<StreamingResult>(runs.size() * 2, [&](std::size_t i) {
     const auto& profile = runs[i / 2];
     const char* scheds[2] = {"default", "ecf"};
-    StreamingParams p;
-    p.use_path_overrides = true;
-    p.wifi_override = profile.wifi;
-    p.lte_override = profile.lte;
-    p.wifi_mbps = profile.wifi.down_rate.to_mbps();
-    p.lte_mbps = profile.lte.down_rate.to_mbps();
-    p.scheduler = scheds[i % 2];
-    p.video = video;
-    p.seed = 500 + static_cast<std::uint64_t>(profile.run_index);
-    // Unregulated real networks fluctuate: add the profile's rate jitter,
-    // identical for both schedulers.
-    Rng jitter_rng(9000 + static_cast<std::uint64_t>(profile.run_index));
-    Rng wifi_rng = jitter_rng.fork();
-    Rng lte_rng = jitter_rng.fork();
-    p.wifi_trace = make_wild_jitter_trace(wifi_rng, profile.wifi.down_rate,
-                                          profile.rate_jitter_frac,
-                                          profile.jitter_interval, p.video);
-    p.lte_trace = make_wild_jitter_trace(lte_rng, profile.lte.down_rate,
-                                         profile.rate_jitter_frac,
-                                         profile.jitter_interval, p.video);
-    return run_streaming(p);
+    // Unregulated real networks fluctuate: the spec carries the profile's
+    // rate jitter, re-derived from trace_seed identically for both schedulers.
+    ScenarioSpec spec = wild_spec(profile, scheds[i % 2], /*jitter=*/true);
+    spec.workload.video_s = video.to_seconds();
+    spec.seed = 500 + static_cast<std::uint64_t>(profile.run_index);
+    spec.trace_seed = 9000 + static_cast<std::uint64_t>(profile.run_index);
+    return run_streaming(spec);
   });
 
   double mean_def = 0, mean_ecf = 0;

@@ -15,14 +15,11 @@ int main() {
   const int web_runs = bench_scale().web_runs;
   const auto results = sweep_map<WebRunResult>(2, [&](std::size_t s) {
     const char* scheds[2] = {"default", "ecf"};
-    WebRunParams p;
-    p.use_path_overrides = true;
-    p.wifi_override = profile.wifi;
-    p.lte_override = profile.lte;
-    p.scheduler = scheds[s];
-    p.runs = web_runs;
-    p.seed = 600;
-    return run_web(p);
+    ScenarioSpec spec = wild_spec(profile, scheds[s], /*jitter=*/false);
+    spec.workload.kind = WorkloadKind::kWeb;
+    spec.workload.runs = web_runs;
+    spec.seed = 600;
+    return run_web(spec);
   });
 
   {

@@ -13,6 +13,7 @@
 #include "exp/download.h"
 #include "exp/ideal.h"
 #include "exp/scale.h"
+#include "exp/scenario_run.h"
 #include "exp/streaming.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
@@ -71,19 +72,77 @@ struct CellConfig {
   FlightRecorder* recorder = nullptr;
 };
 
+// Declarative cell description: every bench cell is a ScenarioSpec, executed
+// through exp/scenario_run.h's spec->params conversion, so the bench cells
+// and scenarios/*.json presets share one construction path (and stay
+// byte-identical with the historical hand-wired parameters).
+inline ScenarioSpec streaming_spec(double wifi, double lte, const std::string& sched,
+                                   const CellConfig& cell = {}) {
+  ScenarioSpec s;
+  s.paths = {wifi_path(wifi), lte_path(lte)};
+  s.scheduler = sched;
+  s.workload.kind = WorkloadKind::kStream;
+  s.workload.video_s = cell.scale.video.to_seconds();
+  s.workload.runs = cell.scale.streaming_runs;
+  s.seed = cell.seed;
+  s.record.collect_traces = cell.collect_traces;
+  s.conn.idle_cwnd_reset = cell.idle_reset;
+  return s;
+}
+
+inline ScenarioSpec download_spec(double wifi, double lte, const std::string& sched,
+                                  std::uint64_t bytes, std::uint64_t seed, int runs) {
+  ScenarioSpec s;
+  s.paths = {wifi_path(wifi), lte_path(lte)};
+  s.scheduler = sched;
+  s.workload.kind = WorkloadKind::kDownload;
+  s.workload.bytes = static_cast<std::int64_t>(bytes);
+  s.workload.runs = runs;
+  s.seed = seed;
+  return s;
+}
+
+inline ScenarioSpec web_spec(double wifi, double lte, const std::string& sched,
+                             std::uint64_t seed, int runs) {
+  ScenarioSpec s;
+  s.paths = {wifi_path(wifi), lte_path(lte)};
+  s.scheduler = sched;
+  s.workload.kind = WorkloadKind::kWeb;
+  s.workload.runs = runs;
+  s.seed = seed;
+  return s;
+}
+
+// Section 6 in-the-wild cell: profile paths with RTT/loss overrides and
+// (for streaming) the profile's rate jitter, built from the profile's
+// scalar nominals.
+inline ScenarioSpec wild_spec(const WildRunProfile& profile, const std::string& sched,
+                              bool jitter) {
+  ScenarioSpec s;
+  PathSpec wifi = wifi_path(profile.wifi_mbps);
+  wifi.rtt_ms = profile.wifi_rtt_ms;
+  wifi.loss_rate = profile.wifi_loss_rate;
+  PathSpec lte = lte_path(profile.lte_mbps);
+  lte.rtt_ms = profile.lte_rtt_ms;
+  lte.loss_rate = profile.lte_loss_rate;
+  if (jitter) {
+    for (PathSpec* p : {&wifi, &lte}) {
+      p->variation.kind = VariationKind::kJitter;
+      p->variation.jitter_frac = profile.rate_jitter_frac;
+      p->variation.jitter_interval_s = profile.jitter_interval_s;
+    }
+  }
+  s.paths = {wifi, lte};
+  s.scheduler = sched;
+  return s;
+}
+
 // Streaming run with the cell's scale settings applied.
 inline StreamingResult run_streaming_cell(double wifi, double lte, const std::string& sched,
                                           const CellConfig& cell = {}) {
-  StreamingParams p;
-  p.wifi_mbps = wifi;
-  p.lte_mbps = lte;
-  p.scheduler = sched;
-  p.video = cell.scale.video;
-  p.seed = cell.seed;
-  p.collect_traces = cell.collect_traces;
-  p.idle_cwnd_reset = cell.idle_reset;
-  p.recorder = cell.recorder;
-  return run_streaming_avg(p, cell.scale.streaming_runs);
+  ScenarioRunOptions opts;
+  opts.recorder = cell.recorder;
+  return run_scenario(streaming_spec(wifi, lte, sched, cell), opts).streaming;
 }
 
 }  // namespace mps::bench

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure, build, and run the unit/integration test suite.
 #
-#   scripts/check.sh               # RelWithDebInfo build + ctest
-#   scripts/check.sh --sanitize    # additionally run the suite under ASan+UBSan
-#   scripts/check.sh --tsan        # additionally run the sweep/kernel tests under TSan
+#   scripts/check.sh               # RelWithDebInfo build + ctest + scenario smoke
+#   scripts/check.sh --sanitize    # additionally run suite + smoke under ASan+UBSan
+#   scripts/check.sh --tsan        # additionally run the sweep/kernel tests + smoke under TSan
 #   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
+#   scripts/check.sh --scenarios   # only the scenario smoke (assumes ./build exists)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -23,22 +24,45 @@ run_suite() {
   fi
 }
 
+# Every checked-in preset must load and run end to end through mps_run.
+# Durations are overridden down so the smoke stays fast at any scale.
+run_scenarios_smoke() {
+  local build_dir="$1"
+  echo "scenario smoke ($build_dir):"
+  local spec
+  for spec in scenarios/*.json; do
+    echo "  $spec"
+    "$build_dir/tools/mps_run" "$spec" \
+      --set workload.video_s=5 --set workload.bytes=65536 --set workload.runs=1
+  done
+}
+
 sanitize=0
 tsan=0
 notrace=0
+scenarios_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --notrace) notrace=1 ;;
+    --scenarios) scenarios_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
+if [[ "$scenarios_only" == 1 ]]; then
+  run_scenarios_smoke build
+  echo "check.sh: scenario smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run_scenarios_smoke build
 
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
+  run_scenarios_smoke build-sanitize
 fi
 
 if [[ "$tsan" == 1 ]]; then
@@ -46,6 +70,7 @@ if [[ "$tsan" == 1 ]]; then
   # sweep-runner tests (parallel determinism) plus the event-kernel tests.
   run_suite build-tsan "Sweep|EventQueue|Simulator|Timer" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=thread
+  run_scenarios_smoke build-tsan
 fi
 
 if [[ "$notrace" == 1 ]]; then

@@ -1,0 +1,174 @@
+#include "exp/scenario_run.h"
+
+#include <stdexcept>
+
+#include "tcp/cc_registry.h"
+
+namespace mps {
+
+namespace {
+
+void require_kind(const ScenarioSpec& spec, WorkloadKind kind, const char* fn) {
+  if (spec.workload.kind != kind) {
+    throw std::invalid_argument(std::string(fn) + ": spec workload kind is \"" +
+                                workload_kind_name(spec.workload.kind) + "\", expected \"" +
+                                workload_kind_name(kind) + "\"");
+  }
+}
+
+void require_two_paths(const ScenarioSpec& spec, const char* fn) {
+  if (spec.paths.size() != 2) {
+    throw std::invalid_argument(std::string(fn) + ": the exp runners model exactly 2 paths " +
+                                "(wifi primary, lte secondary); spec has " +
+                                std::to_string(spec.paths.size()));
+  }
+}
+
+// Label rate for a pure-profile path: the spec's Mbps literal, except that a
+// random-bandwidth path is labelled by its trace's first level — both exactly
+// as the hand-wired bench drivers computed them.
+double pure_label_mbps(const PathSpec& p, const std::vector<RateChange>& trace) {
+  if (p.variation.kind == VariationKind::kRandom && !trace.empty()) {
+    return trace.front().rate.to_mbps();
+  }
+  return p.rate_mbps;
+}
+
+}  // namespace
+
+StreamingParams streaming_params_from_spec(const ScenarioSpec& spec,
+                                           const ScenarioRunOptions& opts) {
+  require_kind(spec, WorkloadKind::kStream, "streaming_params_from_spec");
+  require_two_paths(spec, "streaming_params_from_spec");
+  WorldBuilder b(spec);
+
+  StreamingParams p;
+  const bool pure = b.pure_profile(0) && b.pure_profile(1);
+  p.use_path_overrides = !pure;
+  if (pure) {
+    p.wifi_mbps = pure_label_mbps(spec.paths[0], b.path_traces()[0]);
+    p.lte_mbps = pure_label_mbps(spec.paths[1], b.path_traces()[1]);
+  } else {
+    p.wifi_override = b.path_configs()[0];
+    p.lte_override = b.path_configs()[1];
+    p.wifi_mbps = p.wifi_override.down_rate.to_mbps();
+    p.lte_mbps = p.lte_override.down_rate.to_mbps();
+  }
+  p.wifi_trace = b.path_traces()[0];
+  p.lte_trace = b.path_traces()[1];
+  p.scheduler = spec.scheduler;
+  p.scheduler_override = opts.scheduler_override;
+  p.cc = cc_kind_from_name(spec.conn.cc);
+  p.staging_bytes = static_cast<std::uint64_t>(spec.conn.staging_bytes);
+  p.idle_cwnd_reset = spec.conn.idle_cwnd_reset;
+  p.opportunistic_rtx = spec.conn.opportunistic_rtx;
+  p.penalization = spec.conn.penalization;
+  p.video = Duration::from_seconds(spec.workload.video_s);
+  p.abr = spec.workload.abr == "rate" ? AbrKind::kRateBased : AbrKind::kBufferBased;
+  p.subflows_per_path = static_cast<int>(spec.subflows_per_path);
+  p.seed = spec.seed;
+  p.collect_traces = spec.record.collect_traces;
+  p.recorder = opts.recorder;
+  return p;
+}
+
+DownloadParams download_params_from_spec(const ScenarioSpec& spec) {
+  require_kind(spec, WorkloadKind::kDownload, "download_params_from_spec");
+  require_two_paths(spec, "download_params_from_spec");
+  WorldBuilder b(spec);
+  if (!b.pure_profile(0) || !b.pure_profile(1)) {
+    throw std::invalid_argument(
+        "download_params_from_spec: the download runner supports only unmodified "
+        "wifi/lte profile paths");
+  }
+  for (const PathSpec& path : spec.paths) {
+    if (path.variation.kind != VariationKind::kNone) {
+      throw std::invalid_argument(
+          "download_params_from_spec: bandwidth variation is not supported for downloads");
+    }
+  }
+  if (spec.subflows_per_path != 1) {
+    throw std::invalid_argument(
+        "download_params_from_spec: downloads use 1 subflow per path");
+  }
+
+  DownloadParams p;
+  p.wifi_mbps = spec.paths[0].rate_mbps;
+  p.lte_mbps = spec.paths[1].rate_mbps;
+  p.bytes = static_cast<std::uint64_t>(spec.workload.bytes);
+  p.scheduler = spec.scheduler;
+  p.cc = cc_kind_from_name(spec.conn.cc);
+  p.seed = spec.seed;
+  return p;
+}
+
+WebRunParams web_params_from_spec(const ScenarioSpec& spec) {
+  require_kind(spec, WorkloadKind::kWeb, "web_params_from_spec");
+  require_two_paths(spec, "web_params_from_spec");
+  WorldBuilder b(spec);
+  for (const PathSpec& path : spec.paths) {
+    if (path.variation.kind != VariationKind::kNone) {
+      throw std::invalid_argument(
+          "web_params_from_spec: bandwidth variation is not supported for web runs");
+    }
+  }
+  if (spec.subflows_per_path != 1) {
+    throw std::invalid_argument("web_params_from_spec: web runs use 1 subflow per path");
+  }
+
+  WebRunParams p;
+  const bool pure = b.pure_profile(0) && b.pure_profile(1);
+  p.use_path_overrides = !pure;
+  if (pure) {
+    p.wifi_mbps = spec.paths[0].rate_mbps;
+    p.lte_mbps = spec.paths[1].rate_mbps;
+  } else {
+    p.wifi_override = b.path_configs()[0];
+    p.lte_override = b.path_configs()[1];
+  }
+  p.scheduler = spec.scheduler;
+  p.cc = cc_kind_from_name(spec.conn.cc);
+  p.seed = spec.seed;
+  p.runs = static_cast<int>(spec.workload.runs);
+  return p;
+}
+
+StreamingResult run_streaming(const ScenarioSpec& spec, const ScenarioRunOptions& opts) {
+  return run_streaming(streaming_params_from_spec(spec, opts));
+}
+
+DownloadResult run_download(const ScenarioSpec& spec) {
+  return run_download(download_params_from_spec(spec));
+}
+
+WebRunResult run_web(const ScenarioSpec& spec) {
+  return run_web(web_params_from_spec(spec));
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions& opts) {
+  ScenarioOutcome out;
+  out.kind = spec.workload.kind;
+  switch (spec.workload.kind) {
+    case WorkloadKind::kStream:
+      out.streaming = run_streaming_avg(streaming_params_from_spec(spec, opts),
+                                        static_cast<int>(spec.workload.runs));
+      break;
+    case WorkloadKind::kDownload: {
+      // Mirrors run_download_samples' seed advance (seed+1 before each run)
+      // while also keeping the last run's detail.
+      DownloadParams p = download_params_from_spec(spec);
+      for (std::int64_t r = 0; r < spec.workload.runs; ++r) {
+        p.seed += 1;
+        out.download = run_download(p);
+        out.download_completions.add(out.download.completion.to_seconds());
+      }
+      break;
+    }
+    case WorkloadKind::kWeb:
+      out.web = run_web(web_params_from_spec(spec));
+      break;
+  }
+  return out;
+}
+
+}  // namespace mps

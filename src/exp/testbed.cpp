@@ -2,29 +2,16 @@
 
 namespace mps {
 
-Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
-  sim_.set_recorder(config_.recorder);
-  wifi_ = std::make_unique<Path>(sim_, config_.wifi);
-  lte_ = std::make_unique<Path>(sim_, config_.lte);
-  wifi_->down().set_rng(rng_.fork());
-  lte_->down().set_rng(rng_.fork());
-
-  down_mux_.attach_to(wifi_->down());
-  down_mux_.attach_to(lte_->down());
-  up_mux_.attach_to(wifi_->up());
-  up_mux_.attach_to(lte_->up());
+WorldConfig Testbed::to_world_config(const TestbedConfig& config) {
+  WorldConfig w;
+  w.paths = {config.wifi, config.lte};
+  w.subflows_per_path = config.subflows_per_path;
+  w.conn = config.conn;
+  w.seed = config.seed;
+  w.recorder = config.recorder;
+  return w;
 }
 
-std::unique_ptr<Connection> Testbed::make_connection(const SchedulerFactory& scheduler) {
-  ConnectionConfig cc = config_.conn;
-  cc.conn_id = next_conn_id_++;
-
-  std::vector<Path*> paths;
-  for (int i = 0; i < config_.subflows_per_path; ++i) paths.push_back(wifi_.get());
-  for (int i = 0; i < config_.subflows_per_path; ++i) paths.push_back(lte_.get());
-
-  return std::make_unique<Connection>(sim_, cc, std::move(paths), scheduler(), down_mux_,
-                                      up_mux_);
-}
+Testbed::Testbed(TestbedConfig config) : world_(to_world_config(config)) {}
 
 }  // namespace mps

@@ -1,6 +1,11 @@
 // The controlled-lab testbed of paper Section 5.1: one WiFi path (primary)
 // and one LTE path between server and client, with `tc`-style bandwidth
 // regulation, shared by all connections of a scenario.
+//
+// Testbed is now a thin two-path veneer over scenario/world.h's World, which
+// generalizes the same construction to N paths and is what the declarative
+// scenario pipeline builds. Construction order (and therefore RNG stream
+// assignment) is owned by World and unchanged from the original Testbed.
 #pragma once
 
 #include <cstdint>
@@ -8,8 +13,8 @@
 #include <vector>
 
 #include "mptcp/connection.h"
-#include "net/mux.h"
 #include "net/path.h"
+#include "scenario/world.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -22,9 +27,12 @@ struct TestbedConfig {
   int subflows_per_path = 1;
   ConnectionConfig conn;  // template; conn_id is assigned per connection
   std::uint64_t seed = 1;
-  // Optional flight recorder (borrowed; must outlive the testbed). Attached
-  // to the simulator before the paths are built so link/subflow/connection
-  // instruments all register.
+  // Optional flight recorder. BORROWED: the testbed/world holds pointers
+  // into it (simulator, link/subflow/connection instruments), so it must
+  // outlive the Testbed and every connection built from it. Spec-driven
+  // runs avoid the footgun entirely — WorldBuilder owns the recorder there.
+  // Attached to the simulator before the paths are built so all instruments
+  // register.
   FlightRecorder* recorder = nullptr;
 };
 
@@ -32,31 +40,29 @@ class Testbed {
  public:
   explicit Testbed(TestbedConfig config);
 
-  Simulator& sim() { return sim_; }
-  Path& wifi() { return *wifi_; }
-  Path& lte() { return *lte_; }
-  Rng& rng() { return rng_; }
+  Simulator& sim() { return world_.sim(); }
+  Path& wifi() { return world_.path(0); }
+  Path& lte() { return world_.path(1); }
+  Rng& rng() { return world_.rng(); }
+  World& world() { return world_; }
 
   // Builds a connection over [wifi x subflows_per_path, lte x
   // subflows_per_path] with WiFi primary, a fresh conn_id, and the given
   // scheduler.
-  std::unique_ptr<Connection> make_connection(const SchedulerFactory& scheduler);
+  std::unique_ptr<Connection> make_connection(const SchedulerFactory& scheduler) {
+    return world_.make_connection(scheduler);
+  }
 
   // One-way latency of a GET from client to server on the primary path.
-  Duration request_delay() const { return wifi_->rtt_base() / 2; }
+  Duration request_delay() const { return world_.request_delay(); }
 
   // Runs the simulation until `deadline` or until the event queue drains.
-  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  void run_for(Duration d) { world_.run_for(d); }
 
  private:
-  TestbedConfig config_;
-  Simulator sim_;
-  Rng rng_;
-  std::unique_ptr<Path> wifi_;
-  std::unique_ptr<Path> lte_;
-  Mux down_mux_;  // attached to both downlinks (client side)
-  Mux up_mux_;    // attached to both uplinks (server side)
-  std::uint32_t next_conn_id_ = 1;
+  static WorldConfig to_world_config(const TestbedConfig& config);
+
+  World world_;
 };
 
 }  // namespace mps

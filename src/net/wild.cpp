@@ -16,12 +16,18 @@ std::vector<WildRunProfile> wild_streaming_runs() {
   for (int i = 0; i < 9; ++i) {
     WildRunProfile p;
     p.run_index = i + 1;
-    p.wifi = wifi_profile(Rate::mbps(kWifiMbps[i]));
+    p.wifi_mbps = kWifiMbps[i];
+    p.wifi_rtt_ms = kWifiRttMs[i];
+    p.wifi_loss_rate = 0.003;  // residual wireless loss
+    p.lte_mbps = 9.0;
+    p.lte_rtt_ms = 70;
+    p.lte_loss_rate = 0.001;
+    p.wifi = wifi_profile(Rate::mbps(p.wifi_mbps));
     p.wifi.rtt_base = Duration::millis(kWifiRttMs[i]);
-    p.wifi.loss_rate = 0.003;  // residual wireless loss
-    p.lte = lte_profile(Rate::mbps(9.0));
+    p.wifi.loss_rate = p.wifi_loss_rate;
+    p.lte = lte_profile(Rate::mbps(p.lte_mbps));
     p.lte.rtt_base = Duration::millis(70);
-    p.lte.loss_rate = 0.001;
+    p.lte.loss_rate = p.lte_loss_rate;
     runs.push_back(p);
   }
   return runs;
@@ -31,12 +37,18 @@ WildRunProfile wild_web_profile() {
   // Section 6.3: WDC cloud server, public WiFi (slow, high RTT) + AT&T LTE.
   WildRunProfile p;
   p.run_index = 0;
-  p.wifi = wifi_profile(Rate::mbps(2.0));
+  p.wifi_mbps = 2.0;
+  p.wifi_rtt_ms = 320;
+  p.wifi_loss_rate = 0.003;
+  p.lte_mbps = 9.0;
+  p.lte_rtt_ms = 70;
+  p.lte_loss_rate = 0.001;
+  p.wifi = wifi_profile(Rate::mbps(p.wifi_mbps));
   p.wifi.rtt_base = Duration::millis(320);
-  p.wifi.loss_rate = 0.003;
-  p.lte = lte_profile(Rate::mbps(9.0));
+  p.wifi.loss_rate = p.wifi_loss_rate;
+  p.lte = lte_profile(Rate::mbps(p.lte_mbps));
   p.lte.rtt_base = Duration::millis(70);
-  p.lte.loss_rate = 0.001;
+  p.lte.loss_rate = p.lte_loss_rate;
   p.rate_jitter_frac = 0.3;
   return p;
 }

@@ -24,6 +24,18 @@ struct WildRunProfile {
   // Jitter applied as a random bandwidth trace around the nominal rate.
   double rate_jitter_frac = 0.2;
   Duration jitter_interval = Duration::seconds(5);
+  // Scalar nominals, set from the same literals as the PathConfigs above.
+  // Scenario specs must be built from these: recovering Mbps/ms via
+  // Rate::to_mbps()/Duration::to_millis() of the computed values is not
+  // bit-exact, and spec-driven runs must feed the runners the identical
+  // double literals.
+  double wifi_mbps = 0.0;
+  double wifi_rtt_ms = 0.0;
+  double wifi_loss_rate = 0.0;
+  double lte_mbps = 0.0;
+  double lte_rtt_ms = 0.0;
+  double lte_loss_rate = 0.0;
+  double jitter_interval_s = 5.0;
 };
 
 // The nine streaming runs of Section 6.2 (Fig. 22). WiFi RTT ascends

@@ -1,0 +1,402 @@
+#include "scenario/spec.h"
+
+#include <stdexcept>
+
+#include "sched/registry.h"
+#include "tcp/cc_registry.h"
+
+namespace mps {
+
+PathSpec wifi_path(double rate_mbps) {
+  PathSpec p;
+  p.profile = PathProfile::kWifi;
+  p.name = "wifi";
+  p.rate_mbps = rate_mbps;
+  p.rtt_ms = 16.0;
+  return p;
+}
+
+PathSpec lte_path(double rate_mbps) {
+  PathSpec p;
+  p.profile = PathProfile::kLte;
+  p.name = "lte";
+  p.rate_mbps = rate_mbps;
+  p.rtt_ms = 80.0;
+  return p;
+}
+
+const char* path_profile_name(PathProfile p) {
+  switch (p) {
+    case PathProfile::kWifi: return "wifi";
+    case PathProfile::kLte: return "lte";
+    case PathProfile::kCustom: return "custom";
+  }
+  return "?";
+}
+
+const char* variation_kind_name(VariationKind k) {
+  switch (k) {
+    case VariationKind::kNone: return "none";
+    case VariationKind::kSchedule: return "schedule";
+    case VariationKind::kRandom: return "random";
+    case VariationKind::kJitter: return "jitter";
+  }
+  return "?";
+}
+
+const char* workload_kind_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kStream: return "stream";
+    case WorkloadKind::kDownload: return "download";
+    case WorkloadKind::kWeb: return "web";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& key, const std::string& msg) {
+  throw std::invalid_argument("scenario spec: " + key + ": " + msg);
+}
+
+// One object being picked apart: every read is by key, reads are recorded,
+// and finish() rejects keys nobody asked for — so typos in a spec file fail
+// loudly with the full key path.
+class ObjectReader {
+ public:
+  ObjectReader(const Json& j, std::string path) : j_(j), path_(std::move(path)) {
+    if (!j_.is_object()) spec_error(path_, "expected an object");
+  }
+
+  const std::string& path() const { return path_; }
+  std::string key_path(const std::string& key) const {
+    return path_.empty() ? key : path_ + "." + key;
+  }
+
+  const Json* get(const std::string& key) {
+    used_.push_back(key);
+    return j_.find(key);
+  }
+
+  double number(const std::string& key, double def) {
+    const Json* v = get(key);
+    if (v == nullptr) return def;
+    if (!v->is_number()) spec_error(key_path(key), "expected a number");
+    return v->as_double();
+  }
+
+  std::int64_t integer(const std::string& key, std::int64_t def) {
+    const Json* v = get(key);
+    if (v == nullptr) return def;
+    if (!v->is_int()) spec_error(key_path(key), "expected an integer");
+    return v->as_int();
+  }
+
+  bool boolean(const std::string& key, bool def) {
+    const Json* v = get(key);
+    if (v == nullptr) return def;
+    if (!v->is_bool()) spec_error(key_path(key), "expected true or false");
+    return v->as_bool();
+  }
+
+  std::string str(const std::string& key, const std::string& def) {
+    const Json* v = get(key);
+    if (v == nullptr) return def;
+    if (!v->is_string()) spec_error(key_path(key), "expected a string");
+    return v->as_string();
+  }
+
+  void finish() {
+    for (const auto& [key, value] : j_.members()) {
+      bool known = false;
+      for (const auto& u : used_) {
+        if (u == key) { known = true; break; }
+      }
+      if (!known) spec_error(key_path(key), "unknown key");
+    }
+  }
+
+ private:
+  const Json& j_;
+  std::string path_;
+  std::vector<std::string> used_;
+};
+
+VariationSpec parse_variation(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  VariationSpec v;
+  const std::string kind = r.str("kind", "none");
+  if (kind == "none") v.kind = VariationKind::kNone;
+  else if (kind == "schedule") v.kind = VariationKind::kSchedule;
+  else if (kind == "random") v.kind = VariationKind::kRandom;
+  else if (kind == "jitter") v.kind = VariationKind::kJitter;
+  else spec_error(r.key_path("kind"), "unknown variation kind \"" + kind +
+                  "\" (known: none, schedule, random, jitter)");
+
+  if (const Json* s = r.get("schedule")) {
+    if (!s->is_array()) spec_error(r.key_path("schedule"), "expected an array");
+    for (std::size_t i = 0; i < s->items().size(); ++i) {
+      const std::string ppath = r.key_path("schedule") + "[" + std::to_string(i) + "]";
+      ObjectReader pr(s->items()[i], ppath);
+      RatePoint pt;
+      pt.at_s = pr.number("at_s", 0.0);
+      pt.mbps = pr.number("mbps", 0.0);
+      if (pt.mbps <= 0.0) spec_error(ppath + ".mbps", "must be > 0");
+      pr.finish();
+      v.schedule.push_back(pt);
+    }
+  }
+  if (const Json* l = r.get("levels_mbps")) {
+    if (!l->is_array()) spec_error(r.key_path("levels_mbps"), "expected an array of numbers");
+    for (std::size_t i = 0; i < l->items().size(); ++i) {
+      const Json& e = l->items()[i];
+      if (!e.is_number()) {
+        spec_error(r.key_path("levels_mbps") + "[" + std::to_string(i) + "]",
+                   "expected a number");
+      }
+      v.levels_mbps.push_back(e.as_double());
+    }
+  }
+  v.mean_interval_s = r.number("mean_interval_s", v.mean_interval_s);
+  v.jitter_frac = r.number("jitter_frac", v.jitter_frac);
+  v.jitter_interval_s = r.number("jitter_interval_s", v.jitter_interval_s);
+  r.finish();
+
+  if (v.kind == VariationKind::kSchedule && v.schedule.empty()) {
+    spec_error(r.key_path("schedule"), "required (non-empty) for kind \"schedule\"");
+  }
+  if (v.kind == VariationKind::kRandom && v.levels_mbps.empty()) {
+    spec_error(r.key_path("levels_mbps"), "required (non-empty) for kind \"random\"");
+  }
+  if (v.mean_interval_s <= 0.0) spec_error(r.key_path("mean_interval_s"), "must be > 0");
+  if (v.jitter_frac < 0.0 || v.jitter_frac >= 1.0) {
+    spec_error(r.key_path("jitter_frac"), "must be in [0, 1)");
+  }
+  if (v.jitter_interval_s <= 0.0) spec_error(r.key_path("jitter_interval_s"), "must be > 0");
+  return v;
+}
+
+PathSpec parse_path(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  PathSpec p;
+  const std::string profile = r.str("profile", "custom");
+  if (profile == "wifi") {
+    p.profile = PathProfile::kWifi;
+    p.name = "wifi";
+    p.rtt_ms = 16.0;
+  } else if (profile == "lte") {
+    p.profile = PathProfile::kLte;
+    p.name = "lte";
+    p.rtt_ms = 80.0;
+  } else if (profile == "custom") {
+    p.profile = PathProfile::kCustom;
+    p.name = "path";
+    p.rtt_ms = 20.0;
+  } else {
+    spec_error(r.key_path("profile"),
+               "unknown profile \"" + profile + "\" (known: wifi, lte, custom)");
+  }
+
+  p.name = r.str("name", p.name);
+  const Json* rate = r.get("rate_mbps");
+  if (rate == nullptr) spec_error(r.key_path("rate_mbps"), "required");
+  if (!rate->is_number()) spec_error(r.key_path("rate_mbps"), "expected a number");
+  p.rate_mbps = rate->as_double();
+  if (p.rate_mbps <= 0.0) spec_error(r.key_path("rate_mbps"), "must be > 0");
+  p.rtt_ms = r.number("rtt_ms", p.rtt_ms);
+  if (p.rtt_ms <= 0.0) spec_error(r.key_path("rtt_ms"), "must be > 0");
+  p.queue_packets = r.integer("queue_packets", p.queue_packets);
+  if (p.queue_packets <= 0) spec_error(r.key_path("queue_packets"), "must be > 0");
+  p.loss_rate = r.number("loss_rate", p.loss_rate);
+  if (p.loss_rate < 0.0 || p.loss_rate >= 1.0) {
+    spec_error(r.key_path("loss_rate"), "must be in [0, 1)");
+  }
+  p.up_mbps = r.number("up_mbps", p.up_mbps);
+  if (p.up_mbps <= 0.0) spec_error(r.key_path("up_mbps"), "must be > 0");
+  if (const Json* v = r.get("variation")) p.variation = parse_variation(*v, r.key_path("variation"));
+  r.finish();
+  return p;
+}
+
+ConnSpec parse_conn(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  ConnSpec c;
+  c.cc = r.str("cc", c.cc);
+  try {
+    (void)cc_kind_from_name(c.cc);
+  } catch (const std::invalid_argument& e) {
+    spec_error(r.key_path("cc"), e.what());
+  }
+  c.idle_cwnd_reset = r.boolean("idle_cwnd_reset", c.idle_cwnd_reset);
+  c.opportunistic_rtx = r.boolean("opportunistic_rtx", c.opportunistic_rtx);
+  c.penalization = r.boolean("penalization", c.penalization);
+  c.staging_bytes = r.integer("staging_bytes", c.staging_bytes);
+  if (c.staging_bytes < 0) spec_error(r.key_path("staging_bytes"), "must be >= 0");
+  r.finish();
+  return c;
+}
+
+WorkloadSpec parse_workload(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  WorkloadSpec w;
+  const std::string kind = r.str("kind", "stream");
+  if (kind == "stream") w.kind = WorkloadKind::kStream;
+  else if (kind == "download") w.kind = WorkloadKind::kDownload;
+  else if (kind == "web") w.kind = WorkloadKind::kWeb;
+  else spec_error(r.key_path("kind"),
+                  "unknown workload kind \"" + kind + "\" (known: stream, download, web)");
+
+  w.video_s = r.number("video_s", w.video_s);
+  if (w.video_s <= 0.0) spec_error(r.key_path("video_s"), "must be > 0");
+  w.abr = r.str("abr", w.abr);
+  if (w.abr != "buffer" && w.abr != "rate") {
+    spec_error(r.key_path("abr"), "unknown abr \"" + w.abr + "\" (known: buffer, rate)");
+  }
+  w.bytes = r.integer("bytes", w.bytes);
+  if (w.bytes <= 0) spec_error(r.key_path("bytes"), "must be > 0");
+  w.runs = r.integer("runs", w.runs);
+  if (w.runs <= 0) spec_error(r.key_path("runs"), "must be > 0");
+  r.finish();
+  return w;
+}
+
+RecordSpec parse_record(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  RecordSpec rec;
+  rec.collect_traces = r.boolean("collect_traces", rec.collect_traces);
+  rec.summarize = r.boolean("summarize", rec.summarize);
+  r.finish();
+  return rec;
+}
+
+}  // namespace
+
+ScenarioSpec scenario_from_json(const Json& j) {
+  ObjectReader r(j, "");
+  ScenarioSpec s;
+  s.name = r.str("name", "");
+
+  const Json* paths = r.get("paths");
+  if (paths == nullptr) spec_error("paths", "required");
+  if (!paths->is_array() || paths->items().empty()) {
+    spec_error("paths", "expected a non-empty array");
+  }
+  for (std::size_t i = 0; i < paths->items().size(); ++i) {
+    s.paths.push_back(parse_path(paths->items()[i], "paths[" + std::to_string(i) + "]"));
+  }
+
+  s.subflows_per_path = r.integer("subflows_per_path", s.subflows_per_path);
+  if (s.subflows_per_path <= 0) spec_error("subflows_per_path", "must be > 0");
+  s.scheduler = r.str("scheduler", s.scheduler);
+  try {
+    (void)scheduler_factory(s.scheduler);
+  } catch (const std::invalid_argument& e) {
+    spec_error("scheduler", e.what());
+  }
+  if (const Json* c = r.get("conn")) s.conn = parse_conn(*c, "conn");
+  if (const Json* w = r.get("workload")) s.workload = parse_workload(*w, "workload");
+  const std::int64_t seed = r.integer("seed", static_cast<std::int64_t>(s.seed));
+  if (seed < 0) spec_error("seed", "must be >= 0");
+  s.seed = static_cast<std::uint64_t>(seed);
+  const std::int64_t trace_seed =
+      r.integer("trace_seed", static_cast<std::int64_t>(s.trace_seed));
+  if (trace_seed < 0) spec_error("trace_seed", "must be >= 0");
+  s.trace_seed = static_cast<std::uint64_t>(trace_seed);
+  if (const Json* rec = r.get("record")) s.record = parse_record(*rec, "record");
+  r.finish();
+  return s;
+}
+
+namespace {
+
+Json variation_to_json(const VariationSpec& v) {
+  Json j = Json::object();
+  j.set("kind", Json::string(variation_kind_name(v.kind)));
+  if (!v.schedule.empty()) {
+    Json arr = Json::array();
+    for (const RatePoint& p : v.schedule) {
+      Json pt = Json::object();
+      pt.set("at_s", Json::number(p.at_s));
+      pt.set("mbps", Json::number(p.mbps));
+      arr.push_back(std::move(pt));
+    }
+    j.set("schedule", std::move(arr));
+  }
+  if (!v.levels_mbps.empty()) {
+    Json arr = Json::array();
+    for (double l : v.levels_mbps) arr.push_back(Json::number(l));
+    j.set("levels_mbps", std::move(arr));
+  }
+  j.set("mean_interval_s", Json::number(v.mean_interval_s));
+  j.set("jitter_frac", Json::number(v.jitter_frac));
+  j.set("jitter_interval_s", Json::number(v.jitter_interval_s));
+  return j;
+}
+
+Json path_to_json(const PathSpec& p) {
+  Json j = Json::object();
+  j.set("profile", Json::string(path_profile_name(p.profile)));
+  j.set("name", Json::string(p.name));
+  j.set("rate_mbps", Json::number(p.rate_mbps));
+  j.set("rtt_ms", Json::number(p.rtt_ms));
+  j.set("queue_packets", Json::number(p.queue_packets));
+  j.set("loss_rate", Json::number(p.loss_rate));
+  j.set("up_mbps", Json::number(p.up_mbps));
+  if (p.variation.kind != VariationKind::kNone) {
+    j.set("variation", variation_to_json(p.variation));
+  }
+  return j;
+}
+
+}  // namespace
+
+Json scenario_to_json(const ScenarioSpec& s) {
+  Json j = Json::object();
+  if (!s.name.empty()) j.set("name", Json::string(s.name));
+  Json paths = Json::array();
+  for (const PathSpec& p : s.paths) paths.push_back(path_to_json(p));
+  j.set("paths", std::move(paths));
+  j.set("subflows_per_path", Json::number(s.subflows_per_path));
+  j.set("scheduler", Json::string(s.scheduler));
+
+  Json conn = Json::object();
+  conn.set("cc", Json::string(s.conn.cc));
+  conn.set("idle_cwnd_reset", Json::boolean(s.conn.idle_cwnd_reset));
+  conn.set("opportunistic_rtx", Json::boolean(s.conn.opportunistic_rtx));
+  conn.set("penalization", Json::boolean(s.conn.penalization));
+  conn.set("staging_bytes", Json::number(s.conn.staging_bytes));
+  j.set("conn", std::move(conn));
+
+  Json w = Json::object();
+  w.set("kind", Json::string(workload_kind_name(s.workload.kind)));
+  w.set("video_s", Json::number(s.workload.video_s));
+  w.set("abr", Json::string(s.workload.abr));
+  w.set("bytes", Json::number(s.workload.bytes));
+  w.set("runs", Json::number(s.workload.runs));
+  j.set("workload", std::move(w));
+
+  j.set("seed", Json::number(static_cast<std::int64_t>(s.seed)));
+  j.set("trace_seed", Json::number(static_cast<std::int64_t>(s.trace_seed)));
+
+  Json rec = Json::object();
+  rec.set("collect_traces", Json::boolean(s.record.collect_traces));
+  rec.set("summarize", Json::boolean(s.record.summarize));
+  j.set("record", std::move(rec));
+  return j;
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  Json j;
+  try {
+    j = Json::parse(text);
+  } catch (const JsonError& e) {
+    throw std::invalid_argument(std::string("scenario spec: ") + e.what());
+  }
+  return scenario_from_json(j);
+}
+
+std::string serialize_scenario(const ScenarioSpec& spec, int indent) {
+  return scenario_to_json(spec).dump(indent) + "\n";
+}
+
+}  // namespace mps

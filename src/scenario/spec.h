@@ -1,0 +1,143 @@
+// ScenarioSpec: the declarative description of one experiment — paths (with
+// optional bandwidth-variation models), subflow topology, scheduler, CC,
+// workload, seeds, and recording options. A spec is plain data: it can be
+// written as JSON (scenarios/*.json), parsed, edited, serialized back
+// (field-exact round trip), and handed to WorldBuilder (scenario/world.h)
+// or the exp runners (exp/scenario_run.h) to execute.
+//
+// Numeric convention: every rate is stored in Mbps and every time in
+// seconds/milliseconds as the *original literal*, exactly as the paper
+// states it. Conversion to the simulator's Rate/Duration types happens once
+// at build time. Specs never store values recovered from Rate::to_mbps() of
+// a computed Rate — that conversion is not bit-exact, and byte-identical
+// reproduction of the bench outputs depends on feeding the runners the same
+// double literals the benches use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/json.h"
+
+namespace mps {
+
+// Which built-in technology profile a path starts from. kWifi/kLte apply
+// wifi_profile()/lte_profile() defaults (net/path.h); kCustom starts from a
+// bare PathConfig.
+enum class PathProfile { kWifi, kLte, kCustom };
+
+enum class VariationKind {
+  kNone,      // constant rate
+  kSchedule,  // explicit (at_s, mbps) schedule
+  kRandom,    // Section 5.3: rates drawn from levels_mbps at Exp(mean) intervals
+  kJitter,    // Section 6: nominal rate x U[1-frac, 1+frac] at Exp(interval)
+};
+
+struct RatePoint {
+  double at_s = 0.0;
+  double mbps = 0.0;
+
+  friend bool operator==(const RatePoint&, const RatePoint&) = default;
+};
+
+struct VariationSpec {
+  VariationKind kind = VariationKind::kNone;
+  std::vector<RatePoint> schedule;    // kSchedule
+  std::vector<double> levels_mbps;    // kRandom
+  double mean_interval_s = 40.0;      // kRandom (paper Section 5.3 uses 40 s)
+  double jitter_frac = 0.2;           // kJitter
+  double jitter_interval_s = 5.0;     // kJitter
+
+  friend bool operator==(const VariationSpec&, const VariationSpec&) = default;
+};
+
+struct PathSpec {
+  PathProfile profile = PathProfile::kWifi;
+  // Fields below default from the profile at parse time (wifi: "wifi",
+  // 16 ms; lte: "lte", 80 ms; custom: "path", 20 ms; all: queue 40 packets,
+  // loss 0, uplink 100 Mbps), so a parsed spec is fully explicit.
+  std::string name = "wifi";
+  double rate_mbps = 10.0;  // regulated downlink; under kRandom the trace's
+                            // first level supersedes it as the initial rate
+  double rtt_ms = 16.0;
+  std::int64_t queue_packets = 40;
+  double loss_rate = 0.0;
+  double up_mbps = 100.0;
+  VariationSpec variation;
+
+  friend bool operator==(const PathSpec&, const PathSpec&) = default;
+};
+
+// Connection-template knobs the paper's ablations exercise. Everything else
+// in ConnectionConfig keeps its library default.
+struct ConnSpec {
+  std::string cc = "lia";  // tcp/cc_registry name
+  bool idle_cwnd_reset = true;
+  bool opportunistic_rtx = true;
+  bool penalization = true;
+  std::int64_t staging_bytes = 0;  // 0 = library default
+
+  friend bool operator==(const ConnSpec&, const ConnSpec&) = default;
+};
+
+enum class WorkloadKind { kStream, kDownload, kWeb };
+
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kStream;
+  // kStream
+  double video_s = 180.0;
+  std::string abr = "buffer";  // "buffer" | "rate"
+  // kDownload
+  std::int64_t bytes = 512 * 1024;
+  // Seeded repetitions: streaming averages, download samples, web page loads.
+  std::int64_t runs = 1;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+struct RecordSpec {
+  bool collect_traces = false;  // CWND + send-buffer time series
+  bool summarize = false;       // print the flight-recorder report after a run
+
+  friend bool operator==(const RecordSpec&, const RecordSpec&) = default;
+};
+
+struct ScenarioSpec {
+  std::string name;  // free-form label, not used by the builder
+  std::vector<PathSpec> paths;  // construction (and RNG fork) order
+  std::int64_t subflows_per_path = 1;
+  std::string scheduler = "default";  // sched/registry name
+  ConnSpec conn;
+  WorkloadSpec workload;
+  std::uint64_t seed = 1;
+  // Master seed for generated bandwidth traces (kRandom/kJitter): one
+  // Rng(trace_seed) is forked once per varied path, in path order.
+  std::uint64_t trace_seed = 0;
+  RecordSpec record;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+// Convenience constructors for the common two-path testbed.
+PathSpec wifi_path(double rate_mbps);
+PathSpec lte_path(double rate_mbps);
+
+// --- enum <-> name ----------------------------------------------------------
+const char* path_profile_name(PathProfile p);
+const char* variation_kind_name(VariationKind k);
+const char* workload_kind_name(WorkloadKind k);
+
+// --- JSON binding -----------------------------------------------------------
+// Strict: unknown or mistyped keys throw std::invalid_argument naming the
+// offending key path (e.g. "paths[1].variation.levels_mbps").
+ScenarioSpec scenario_from_json(const Json& j);
+Json scenario_to_json(const ScenarioSpec& spec);
+
+// Text front ends; parse_scenario also converts JsonError into
+// std::invalid_argument. serialize_scenario is round-trip stable:
+// parse(serialize(s)) == s, field-exact.
+ScenarioSpec parse_scenario(const std::string& text);
+std::string serialize_scenario(const ScenarioSpec& spec, int indent = 2);
+
+}  // namespace mps

@@ -1,0 +1,173 @@
+#include "scenario/world.h"
+
+#include <cmath>
+
+#include "net/wild.h"
+#include "obs/recorder.h"
+#include "tcp/cc_registry.h"
+
+namespace mps {
+
+World::World(WorldConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  sim_.set_recorder(config_.recorder);
+  for (const PathConfig& pc : config_.paths) {
+    paths_.push_back(std::make_unique<Path>(sim_, pc));
+  }
+  for (auto& p : paths_) p->down().set_rng(rng_.fork());
+  for (auto& p : paths_) down_mux_.attach_to(p->down());
+  for (auto& p : paths_) up_mux_.attach_to(p->up());
+}
+
+std::unique_ptr<Connection> World::make_connection(const SchedulerFactory& scheduler) {
+  ConnectionConfig cc = config_.conn;
+  cc.conn_id = next_conn_id_++;
+
+  std::vector<Path*> paths;
+  for (auto& p : paths_) {
+    for (int i = 0; i < config_.subflows_per_path; ++i) paths.push_back(p.get());
+  }
+
+  return std::make_unique<Connection>(sim_, cc, std::move(paths), scheduler(), down_mux_,
+                                      up_mux_);
+}
+
+namespace {
+
+Duration duration_from_ms(double ms) {
+  return Duration::nanos(std::llround(ms * 1e6));
+}
+
+// Run length used to size generated bandwidth traces: the video length for
+// streaming, the runners' safety caps otherwise.
+Duration trace_duration(const WorkloadSpec& w) {
+  switch (w.kind) {
+    case WorkloadKind::kStream: return Duration::from_seconds(w.video_s);
+    case WorkloadKind::kDownload: return Duration::seconds(600);
+    case WorkloadKind::kWeb: return Duration::seconds(3600);
+  }
+  return Duration::seconds(600);
+}
+
+PathConfig resolve_path(const PathSpec& p, bool* pure) {
+  PathConfig c;
+  switch (p.profile) {
+    case PathProfile::kWifi: c = wifi_profile(Rate::mbps(p.rate_mbps)); break;
+    case PathProfile::kLte: c = lte_profile(Rate::mbps(p.rate_mbps)); break;
+    case PathProfile::kCustom:
+      c.down_rate = Rate::mbps(p.rate_mbps);
+      break;
+  }
+  // An unmodified profile path must resolve through wifi_profile()/
+  // lte_profile() alone — the runners then reconstruct it from the rate
+  // literal exactly as the historical parameter structs did.
+  const PathConfig defaults = c;
+  *pure = p.profile != PathProfile::kCustom && p.name == defaults.name &&
+          duration_from_ms(p.rtt_ms) == defaults.rtt_base &&
+          p.queue_packets == static_cast<std::int64_t>(defaults.queue_packets) &&
+          p.loss_rate == defaults.loss_rate &&
+          Rate::mbps(p.up_mbps) == defaults.up_rate;
+  c.name = p.name;
+  c.rtt_base = duration_from_ms(p.rtt_ms);
+  c.queue_packets = static_cast<std::size_t>(p.queue_packets);
+  c.loss_rate = p.loss_rate;
+  c.up_rate = Rate::mbps(p.up_mbps);
+  return c;
+}
+
+bool generates_trace(VariationKind k) {
+  return k == VariationKind::kRandom || k == VariationKind::kJitter;
+}
+
+}  // namespace
+
+WorldBuilder::WorldBuilder(ScenarioSpec spec) : spec_(std::move(spec)) {
+  paths_.reserve(spec_.paths.size());
+  pure_.reserve(spec_.paths.size());
+  for (const PathSpec& p : spec_.paths) {
+    bool pure = false;
+    paths_.push_back(resolve_path(p, &pure));
+    pure_.push_back(pure);
+  }
+
+  // Generated traces: one master RNG, forked once per varied path in path
+  // order, then each trace generated from its fork. This matches the bench
+  // drivers (e.g. Fig. 16/22), which fork wifi then lte before generating.
+  traces_.resize(spec_.paths.size());
+  bool any_generated = false;
+  for (const PathSpec& p : spec_.paths) any_generated |= generates_trace(p.variation.kind);
+  std::vector<Rng> forks;
+  if (any_generated) {
+    Rng master(spec_.trace_seed);
+    for (const PathSpec& p : spec_.paths) {
+      if (generates_trace(p.variation.kind)) forks.push_back(master.fork());
+    }
+  }
+
+  const Duration total = trace_duration(spec_.workload);
+  std::size_t fork_idx = 0;
+  for (std::size_t i = 0; i < spec_.paths.size(); ++i) {
+    const VariationSpec& v = spec_.paths[i].variation;
+    switch (v.kind) {
+      case VariationKind::kNone:
+        break;
+      case VariationKind::kSchedule:
+        for (const RatePoint& pt : v.schedule) {
+          traces_[i].push_back({Duration::from_seconds(pt.at_s), Rate::mbps(pt.mbps)});
+        }
+        break;
+      case VariationKind::kRandom: {
+        std::vector<Rate> levels;
+        for (double l : v.levels_mbps) levels.push_back(Rate::mbps(l));
+        traces_[i] = make_random_bandwidth_trace(
+            forks[fork_idx++], levels, Duration::from_seconds(v.mean_interval_s), total);
+        // Section 5.3 semantics: the path starts at the trace's first level
+        // (reconstructed from the Mbps label, as the bench drivers do).
+        paths_[i].down_rate = Rate::mbps(traces_[i].front().rate.to_mbps());
+        break;
+      }
+      case VariationKind::kJitter:
+        traces_[i] = make_wild_jitter_trace(forks[fork_idx++], paths_[i].down_rate,
+                                            v.jitter_frac,
+                                            Duration::from_seconds(v.jitter_interval_s), total);
+        break;
+    }
+  }
+}
+
+WorldBuilder::~WorldBuilder() = default;
+
+ConnectionConfig WorldBuilder::conn_config() const {
+  ConnectionConfig c;
+  c.cc = cc_kind_from_name(spec_.conn.cc);
+  c.idle_cwnd_reset = spec_.conn.idle_cwnd_reset;
+  c.opportunistic_retransmission = spec_.conn.opportunistic_rtx;
+  c.penalization = spec_.conn.penalization;
+  if (spec_.conn.staging_bytes > 0) {
+    c.subflow_staging_bytes = static_cast<std::uint64_t>(spec_.conn.staging_bytes);
+  }
+  return c;
+}
+
+WorldConfig WorldBuilder::world_config(FlightRecorder* recorder) const {
+  WorldConfig w;
+  w.paths = paths_;
+  w.subflows_per_path = static_cast<int>(spec_.subflows_per_path);
+  w.conn = conn_config();
+  w.seed = spec_.seed;
+  w.recorder = recorder;
+  return w;
+}
+
+std::unique_ptr<World> WorldBuilder::build(FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr && (spec_.record.collect_traces || spec_.record.summarize)) {
+    if (owned_recorder_ == nullptr) owned_recorder_ = std::make_unique<FlightRecorder>();
+    recorder_ = owned_recorder_.get();
+  }
+  if (recorder_ != nullptr && spec_.record.collect_traces) {
+    recorder_->metrics().set_keep_series(true);
+  }
+  return std::make_unique<World>(world_config(recorder_));
+}
+
+}  // namespace mps

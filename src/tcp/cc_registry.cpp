@@ -1,0 +1,33 @@
+#include "tcp/cc_registry.h"
+
+#include <stdexcept>
+
+namespace mps {
+
+namespace {
+constexpr CcKind kAllKinds[] = {CcKind::kReno, CcKind::kCubic, CcKind::kLia, CcKind::kOlia};
+}
+
+CcKind cc_kind_from_name(const std::string& name) {
+  for (CcKind kind : kAllKinds) {
+    if (name == cc_kind_name(kind)) return kind;
+  }
+  std::string known;
+  for (CcKind kind : kAllKinds) {
+    if (!known.empty()) known += ", ";
+    known += cc_kind_name(kind);
+  }
+  throw std::invalid_argument("unknown congestion control \"" + name + "\" (known: " + known +
+                              ")");
+}
+
+const std::vector<std::string>& cc_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (CcKind kind : kAllKinds) out.emplace_back(cc_kind_name(kind));
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace mps

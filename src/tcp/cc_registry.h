@@ -1,0 +1,20 @@
+// Name<->kind registry for congestion controllers, mirroring sched/registry.
+// One parsing point shared by the scenario spec parser, mps_run, benches,
+// and examples — no more per-binary string switches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcp/cc.h"
+
+namespace mps {
+
+// Known names: "reno", "cubic", "lia", "olia" (same strings cc_kind_name
+// returns). Throws std::invalid_argument for unknown names.
+CcKind cc_kind_from_name(const std::string& name);
+
+// All registered controller names, in kind order.
+const std::vector<std::string>& cc_names();
+
+}  // namespace mps

@@ -1,0 +1,225 @@
+// mps_run — execute a scenario spec file (scenarios/*.json).
+//
+//   mps_run <spec.json> [--set key=value]... [--print-spec]
+//
+//   --set key=value   Override a field of the JSON document before it is
+//                     parsed into a ScenarioSpec. `key` is a dotted path;
+//                     array elements use [i]:
+//                       --set scheduler=ecf
+//                       --set workload.video_s=5
+//                       --set paths[0].rate_mbps=0.3
+//                     The value is parsed as JSON when possible (numbers,
+//                     booleans, arrays), otherwise taken as a bare string.
+//   --print-spec      Print the effective spec (defaults filled in,
+//                     overrides applied) and exit without running.
+//
+// The run goes through the same spec -> params conversion as the bench
+// drivers (exp/scenario_run.h), so a preset that mirrors a bench cell
+// reproduces that cell's numbers exactly.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/ideal.h"
+#include "exp/scenario_run.h"
+#include "obs/recorder.h"
+
+namespace {
+
+using mps::Json;
+
+// Splits "paths[0].rate_mbps" into navigation steps and walks the document,
+// creating intermediate objects as needed. Array elements must already exist.
+Json* navigate(Json& root, const std::string& path, std::string* err) {
+  Json* node = &root;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '.' && path[j] != '[') ++j;
+    const std::string key = path.substr(i, j - i);
+    if (key.empty()) {
+      *err = "empty key segment in --set path '" + path + "'";
+      return nullptr;
+    }
+    node = &(*node)[key];  // insert-or-get; promotes null to object
+    // Zero or more [idx] segments.
+    while (j < path.size() && path[j] == '[') {
+      const std::size_t close = path.find(']', j);
+      if (close == std::string::npos) {
+        *err = "unterminated [ in --set path '" + path + "'";
+        return nullptr;
+      }
+      const std::string idx_text = path.substr(j + 1, close - j - 1);
+      std::size_t idx = 0;
+      try {
+        idx = static_cast<std::size_t>(std::stoul(idx_text));
+      } catch (const std::exception&) {
+        *err = "bad array index '" + idx_text + "' in --set path '" + path + "'";
+        return nullptr;
+      }
+      if (!node->is_array() || idx >= node->items().size()) {
+        *err = "array index " + idx_text + " out of range in --set path '" + path + "'";
+        return nullptr;
+      }
+      node = &node->items()[idx];
+      j = close + 1;
+    }
+    if (j < path.size()) {
+      if (path[j] != '.') {
+        *err = "expected '.' after ']' in --set path '" + path + "'";
+        return nullptr;
+      }
+      ++j;
+    }
+    i = j;
+  }
+  return node;
+}
+
+Json parse_override_value(const std::string& text) {
+  try {
+    return Json::parse(text);
+  } catch (const mps::JsonError&) {
+    return Json::string(text);  // bare words are strings: --set scheduler=ecf
+  }
+}
+
+void print_streaming(const mps::ScenarioSpec& spec, const mps::StreamingParams& p,
+                     const mps::StreamingResult& r) {
+  std::printf("stream %s %.2f/%.2f Mbps (%lld run%s): bitrate %.2f Mbps (ideal %.2f),\n"
+              "  tput %.2f Mbps, fast-path fraction %.2f, lte IW resets %llu,\n"
+              "  rtt wifi/lte %.0f/%.0f ms, ooo p50/p99 %.3f/%.3f s, rebuffer %.1f s\n",
+              spec.scheduler.c_str(), p.wifi_mbps, p.lte_mbps,
+              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
+              r.mean_bitrate_mbps, mps::ideal_bitrate_mbps(p.wifi_mbps, p.lte_mbps),
+              r.mean_throughput_mbps, r.fraction_fast,
+              static_cast<unsigned long long>(r.iw_resets_lte), r.mean_rtt_wifi_ms,
+              r.mean_rtt_lte_ms, r.ooo_delay.quantile(0.5), r.ooo_delay.quantile(0.99),
+              r.rebuffer_time.to_seconds());
+}
+
+void print_download(const mps::ScenarioSpec& spec, const mps::ScenarioOutcome& out) {
+  std::printf("download %s %lld bytes (%lld run%s): mean %.3f s",
+              spec.scheduler.c_str(), static_cast<long long>(spec.workload.bytes),
+              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
+              out.download_completions.mean());
+  if (spec.workload.runs > 1) {
+    std::printf(" (min %.3f, max %.3f)", out.download_completions.min(),
+                out.download_completions.max());
+  }
+  std::printf(", fast-path fraction %.2f\n", out.download.fraction_fast);
+}
+
+void print_web(const mps::ScenarioSpec& spec, const mps::WebRunResult& r) {
+  std::printf("web %s (%lld run%s): page %.2f s, object mean/p90/p99 %.3f/%.3f/%.3f s, "
+              "ooo p99 %.3f s\n",
+              spec.scheduler.c_str(), static_cast<long long>(spec.workload.runs),
+              spec.workload.runs == 1 ? "" : "s", r.mean_page_load_s, r.object_times.mean(),
+              r.object_times.quantile(0.9), r.object_times.quantile(0.99),
+              r.ooo_delay.quantile(0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mps;
+
+  if (argc < 2 || std::string(argv[1]) == "--help") {
+    std::fprintf(stderr,
+                 "usage: %s <spec.json> [--set key=value]... [--print-spec]\n"
+                 "  e.g. %s scenarios/tab02_rtt_cell.json --set scheduler=blest\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  const std::string spec_path = argv[1];
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "mps_run: cannot open %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  bool print_spec = false;
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const JsonError& e) {
+    std::fprintf(stderr, "mps_run: %s: %s\n", spec_path.c_str(), e.what());
+    return 1;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "mps_run: --set expects key=value, got '%s'\n", kv.c_str());
+        return 2;
+      }
+      std::string err;
+      Json* node = navigate(doc, kv.substr(0, eq), &err);
+      if (!node) {
+        std::fprintf(stderr, "mps_run: %s\n", err.c_str());
+        return 2;
+      }
+      *node = parse_override_value(kv.substr(eq + 1));
+    } else {
+      std::fprintf(stderr, "mps_run: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  ScenarioSpec spec;
+  try {
+    spec = scenario_from_json(doc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mps_run: %s: %s\n", spec_path.c_str(), e.what());
+    return 1;
+  }
+
+  if (print_spec) {
+    std::printf("%s\n", serialize_scenario(spec).c_str());
+    return 0;
+  }
+
+  if (!spec.name.empty()) std::printf("scenario: %s\n", spec.name.c_str());
+
+  try {
+    ScenarioRunOptions opts;
+    FlightRecorder recorder;
+    // The flight recorder is plumbed through the streaming runner only.
+    if (spec.record.summarize && spec.workload.kind == WorkloadKind::kStream) {
+      opts.recorder = &recorder;
+    }
+    const ScenarioOutcome out = run_scenario(spec, opts);
+    switch (out.kind) {
+      case WorkloadKind::kStream:
+        print_streaming(spec, streaming_params_from_spec(spec, opts), out.streaming);
+        break;
+      case WorkloadKind::kDownload:
+        print_download(spec, out);
+        break;
+      case WorkloadKind::kWeb:
+        print_web(spec, out.web);
+        break;
+    }
+    if (opts.recorder) {
+      std::printf("\n--- flight recorder ---\n");
+      std::ostringstream report;
+      recorder.summarize(report);
+      std::fputs(report.str().c_str(), stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mps_run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
