@@ -6,6 +6,12 @@
 #   scripts/check.sh --tsan        # additionally run the sweep/kernel tests + smoke under TSan
 #   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
 #   scripts/check.sh --scenarios   # only the scenario smoke (assumes ./build exists)
+#   scripts/check.sh --stress      # only a full seeded stress sweep (assumes ./build)
+#
+# The default suite and the sanitizer suite both end with a bounded
+# invariant-checked stress sweep (tools/mps_stress): every fault profile x
+# scheduler x seed cell runs a download under check/invariants.h, and any
+# violation or stall fails the script.
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -37,16 +43,29 @@ run_scenarios_smoke() {
   done
 }
 
+# Seeded stress sweep under the invariant checker. Cell counts are chosen
+# for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
+# every default run; the sanitizer pass uses 6 seeds (216 cells) so the
+# ASan-clean >= 200-cell bar is part of CI, not a manual step.
+run_stress_sweep() {
+  local build_dir="$1"; shift
+  echo "stress sweep ($build_dir): mps_stress $*"
+  cmake --build "$build_dir" -j "$(nproc)" --target mps_stress
+  "$build_dir/tools/mps_stress" "$@"
+}
+
 sanitize=0
 tsan=0
 notrace=0
 scenarios_only=0
+stress_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --notrace) notrace=1 ;;
     --scenarios) scenarios_only=1 ;;
+    --stress) stress_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -57,12 +76,20 @@ if [[ "$scenarios_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$stress_only" == 1 ]]; then
+  run_stress_sweep build --seeds 8
+  echo "check.sh: stress sweep passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
+run_stress_sweep build --seeds 2
 
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
   run_scenarios_smoke build-sanitize
+  run_stress_sweep build-sanitize --seeds 6
 fi
 
 if [[ "$tsan" == 1 ]]; then

@@ -1,0 +1,156 @@
+#include "check/stress.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "app/http.h"
+#include "check/invariants.h"
+#include "obs/recorder.h"
+#include "scenario/world.h"
+#include "sched/registry.h"
+
+namespace mps {
+
+namespace {
+
+FaultSpec ge_wifi_faults() {
+  FaultSpec f;
+  f.gilbert_elliott.enabled = true;
+  f.gilbert_elliott.p_good_bad = 0.02;
+  f.gilbert_elliott.p_bad_good = 0.3;
+  f.gilbert_elliott.loss_good = 0.0;
+  f.gilbert_elliott.loss_bad = 0.6;
+  return f;
+}
+
+void apply_profile(const std::string& profile, ScenarioSpec& spec) {
+  PathSpec& wifi = spec.paths[0];
+  PathSpec& lte = spec.paths[1];
+  if (profile == "clean") {
+    return;
+  }
+  if (profile == "iid") {
+    wifi.loss_rate = 0.02;
+    lte.loss_rate = 0.005;
+    return;
+  }
+  if (profile == "ge_wifi") {
+    wifi.faults = ge_wifi_faults();
+    return;
+  }
+  if (profile == "outage") {
+    // Timescales sized to the transfer (a few hundred ms): the wifi flap's
+    // second down window overlaps the lte blackout, so for ~100 ms both
+    // paths are dead and recovery must come back through RTO.
+    wifi.faults.flap.enabled = true;
+    wifi.faults.flap.period_s = 0.5;
+    wifi.faults.flap.down_s = 0.15;
+    wifi.faults.flap.start_s = 0.2;
+    lte.faults.outages.push_back(OutageSpec{0.45, 0.35});
+    return;
+  }
+  if (profile == "reorder") {
+    for (PathSpec* p : {&wifi, &lte}) {
+      p->faults.reorder.enabled = true;
+      p->faults.reorder.prob = 0.05;
+      p->faults.reorder.delay_ms = 30.0;
+      p->faults.reorder.jitter_ms = 30.0;
+    }
+    return;
+  }
+  if (profile == "storm") {
+    wifi.faults = ge_wifi_faults();
+    wifi.faults.gilbert_elliott.p_good_bad = 0.03;
+    wifi.faults.gilbert_elliott.p_bad_good = 0.25;
+    wifi.faults.gilbert_elliott.loss_bad = 0.5;
+    wifi.faults.reorder.enabled = true;
+    wifi.faults.reorder.prob = 0.03;
+    wifi.faults.reorder.delay_ms = 20.0;
+    wifi.faults.reorder.jitter_ms = 20.0;
+    lte.loss_rate = 0.01;
+    lte.faults.flap.enabled = true;
+    lte.faults.flap.period_s = 0.7;
+    lte.faults.flap.down_s = 0.2;
+    lte.faults.flap.start_s = 0.35;
+    return;
+  }
+  throw std::invalid_argument("unknown stress profile: " + profile);
+}
+
+}  // namespace
+
+const std::vector<std::string>& stress_profile_names() {
+  static const std::vector<std::string> names = {"clean",  "iid",     "ge_wifi",
+                                                 "outage", "reorder", "storm"};
+  return names;
+}
+
+ScenarioSpec stress_spec(const StressCell& cell) {
+  ScenarioSpec spec;
+  spec.name = "stress/" + cell.profile;
+  spec.paths.push_back(wifi_path(8.0));
+  spec.paths.push_back(lte_path(10.0));
+  spec.scheduler = cell.scheduler;
+  spec.workload.kind = WorkloadKind::kDownload;
+  spec.workload.bytes = static_cast<std::int64_t>(cell.bytes);
+  spec.seed = cell.seed;
+  apply_profile(cell.profile, spec);
+  return spec;
+}
+
+StressCellResult run_stress_cell(const StressCell& cell) {
+  const ScenarioSpec spec = stress_spec(cell);
+  FlightRecorder recorder;
+  WorldBuilder builder(spec);
+  std::unique_ptr<World> world = builder.build(&recorder);
+  Simulator& sim = world->sim();
+
+  InvariantChecker checker(sim);
+  std::unique_ptr<Connection> conn = world->make_connection(scheduler_factory(spec.scheduler));
+  checker.watch(*conn);
+
+  HttpExchange http(sim, *conn, world->request_delay());
+  StressCellResult result;
+  TimePoint done_at = TimePoint::never();
+  http.get(cell.bytes, [&](const ObjectResult& r) { done_at = r.completed; });
+
+  // Run in slices so check_now() fires even in MPS_TRACE_DISABLED builds
+  // (where the per-event hook compiles out) and so a stall is bounded by
+  // the cap rather than by queue exhaustion.
+  const TimePoint cap = TimePoint::origin() + Duration::from_seconds(cell.cap_s);
+  const Duration slice = Duration::millis(250);
+  while (done_at == TimePoint::never() && sim.now() < cap) {
+    const std::uint64_t processed = sim.run_until(std::min(cap, sim.now() + slice));
+    checker.check_now("slice");
+    if (processed == 0 && done_at == TimePoint::never() && sim.now() >= cap) break;
+  }
+
+  result.completed = done_at != TimePoint::never();
+  if (result.completed) {
+    result.completion_s = (done_at - TimePoint::origin()).to_seconds();
+  } else {
+    result.violations.push_back(
+        "stall: transfer incomplete at t=" + sim.now().str() + " (delivered " +
+        std::to_string(conn->delivered_bytes()) + "/" + std::to_string(cell.bytes) +
+        " bytes)");
+  }
+  checker.check_now("final");
+  for (const auto& v : checker.violations()) {
+    result.violations.push_back("t=" + v.t.str() + " [" + v.invariant + "] " + v.detail);
+  }
+  result.checks_run = checker.checks_run();
+
+  for (std::size_t i = 0; i < world->path_count(); ++i) {
+    const LinkStats& ls = world->path(i).down().stats();
+    result.drops_random += ls.drops_random;
+    result.drops_fault += ls.drops_fault;
+    result.reordered += ls.reordered;
+  }
+  for (const Subflow* sf : conn->subflows()) {
+    result.retransmits += sf->stats().retransmits;
+    result.rto_events += sf->stats().rto_events;
+  }
+  return result;
+}
+
+}  // namespace mps

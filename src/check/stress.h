@@ -1,0 +1,56 @@
+// Seeded stress cells: one cell = one fault profile x scheduler x seed,
+// run as a two-path (wifi/lte) download with an InvariantChecker attached.
+// tools/mps_stress sweeps a grid of cells in parallel; tests/stress_test.cpp
+// runs a scaled-down grid under ctest. Both exit nonzero on any invariant
+// violation or stalled transfer, so every bug the checker can see fails CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace mps {
+
+struct StressCell {
+  std::string profile = "clean";      // one of stress_profile_names()
+  std::string scheduler = "default";  // sched/registry name
+  std::uint64_t seed = 1;
+  std::uint64_t bytes = 512 * 1024;   // object size for the download
+  double cap_s = 120.0;               // sim-time budget; hitting it = stall
+};
+
+struct StressCellResult {
+  bool completed = false;       // transfer finished before the time cap
+  double completion_s = 0.0;    // valid when completed
+  std::vector<std::string> violations;  // checker output + stall diagnoses
+  std::uint64_t checks_run = 0;
+  // Aggregate wire/recovery activity, to confirm a profile actually
+  // exercised the loss paths (a profile that drops nothing tests nothing).
+  std::uint64_t drops_random = 0;
+  std::uint64_t drops_fault = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rto_events = 0;
+
+  bool ok() const { return completed && violations.empty(); }
+};
+
+// Fault profiles the harness knows: "clean" (no impairment — must match the
+// fault-free goldens), "iid" (plain random loss), "ge_wifi" (Gilbert-Elliott
+// burst loss on the wifi path), "outage" (scheduled blackouts + flapping),
+// "reorder" (jitter-induced reordering on both paths), "storm" (bursts +
+// reordering + flap together).
+const std::vector<std::string>& stress_profile_names();
+
+// The two-path download spec a cell runs. Throws std::invalid_argument for
+// an unknown profile name. Exposed separately so tests can inspect or edit
+// the spec before running it.
+ScenarioSpec stress_spec(const StressCell& cell);
+
+// Builds the world from stress_spec(cell), attaches an InvariantChecker,
+// drives one HTTP download to completion (or the time cap), and reports.
+StressCellResult run_stress_cell(const StressCell& cell);
+
+}  // namespace mps

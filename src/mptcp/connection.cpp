@@ -198,6 +198,13 @@ void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
   }
 }
 
+void Connection::collect_ooo_ranges(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+  for (const auto& [seq, held] : meta_ooo_) {
+    out.emplace_back(seq, seq + held.payload);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Receiver side
 
@@ -224,7 +231,6 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
   if (data_seq > rcv_data_next_) {
     // Hold out of order; duplicates of held segments are dropped.
     auto [it, inserted] = meta_ooo_.try_emplace(data_seq, HeldSeg{payload, wire_arrival});
-    (void)it;
     if (inserted) {
       meta_ooo_bytes_ += payload;
       obs_.ooo_bytes_total.inc(payload);
@@ -232,6 +238,17 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
       obs_.reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
     } else {
       ++meta_stats_.duplicate_segments;
+      // A duplicate that reaches past the held copy carries bytes the held
+      // segment does not cover; adopt the longer coverage. Dropping it would
+      // strand [held_end, new_end): the subflow has acked the carrier, so no
+      // sender copy remains, and the drained hole could never fill.
+      if (payload > it->second.payload) {
+        const std::uint32_t extra = payload - it->second.payload;
+        it->second.payload = payload;
+        meta_ooo_bytes_ += extra;
+        obs_.ooo_bytes_total.inc(extra);
+        obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+      }
     }
     return;
   }

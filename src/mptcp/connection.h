@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/mux.h"
@@ -118,6 +119,19 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   Samples& mutable_ooo_delay() { return ooo_delay_; }
   std::uint64_t delivered_bytes() const { return meta_stats_.delivered_bytes; }
   Scheduler& scheduler() { return *scheduler_; }
+
+  // --- invariant-checker inspection (check/invariants.h) ---------------------
+  std::uint64_t next_data_seq() const { return next_data_seq_; }
+  std::uint64_t data_una() const { return data_una_; }
+  std::uint64_t rcv_data_next() const { return rcv_data_next_; }
+  std::uint64_t meta_ooo_bytes() const { return meta_ooo_bytes_; }
+  std::size_t meta_ooo_segments() const { return meta_ooo_.size(); }
+  std::uint64_t pending_deliver_bytes() const { return pending_deliver_bytes_; }
+  std::size_t receiver_count() const { return receivers_.size(); }
+  const SubflowReceiver& receiver(std::size_t i) const { return *receivers_[i]; }
+  // Appends the [data_seq, data_seq + payload) range of every segment held
+  // in the meta reorder buffer.
+  void collect_ooo_ranges(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const;
 
   // --- SubflowEnv ------------------------------------------------------------
   void on_subflow_ack(Subflow& sf) override;

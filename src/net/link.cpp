@@ -9,13 +9,18 @@
 namespace mps {
 
 Link::Link(Simulator& sim, LinkConfig config, std::string name)
-    : sim_(sim), config_(config), name_(std::move(name)), tx_timer_(sim) {
+    : sim_(sim),
+      config_(config),
+      name_(std::move(name)),
+      fault_(make_fault_model(config.fault)),
+      tx_timer_(sim) {
   if (FlightRecorder* rec = sim_.recorder(); rec != nullptr) {
     MetricsRegistry& m = rec->metrics();
     MetricLabels labels;
     labels.entity = name_;
     obs_.drops_queue = m.counter("link.drops_queue", labels);
     obs_.drops_random = m.counter("link.drops_random", labels);
+    obs_.drops_fault = m.counter("link.drops_fault", labels);
     obs_.busy_ns = m.counter("link.busy_ns", labels);
     obs_.queue_depth = m.gauge("link.queue_depth", labels);
   }
@@ -28,6 +33,13 @@ void Link::send(Packet pkt) {
     obs_.drops_random.inc();
     MPS_TRACE_EVENT(sim_, EventType::kLinkDrop, pkt.conn_id, pkt.subflow_id,
                     {"link", name_.c_str()}, {"reason", "random"});
+    return;
+  }
+  if (fault_ != nullptr && fault_->should_drop(sim_.now(), rng_)) {
+    ++stats_.drops_fault;
+    obs_.drops_fault.inc();
+    MPS_TRACE_EVENT(sim_, EventType::kLinkDrop, pkt.conn_id, pkt.subflow_id,
+                    {"link", name_.c_str()}, {"reason", "fault"});
     return;
   }
   if (busy_) {
@@ -80,8 +92,17 @@ void Link::finish_transmission() {
 
   // Propagation: schedule the arrival at the far end. Delivery order is
   // preserved because prop_delay changes are rare and monotone arrivals are
-  // guaranteed for a constant delay.
-  sim_.after(config_.prop_delay, [this, delivered]() mutable {
+  // guaranteed for a constant delay. A fault model may add per-packet extra
+  // delay here, which deliberately breaks that monotonicity (reordering).
+  Duration prop = config_.prop_delay;
+  if (fault_ != nullptr) {
+    const Duration extra = fault_->extra_delay(sim_.now(), rng_);
+    if (extra > Duration::zero()) {
+      ++stats_.reordered;
+      prop += extra;
+    }
+  }
+  sim_.after(prop, [this, delivered]() mutable {
     if (deliver_) deliver_(delivered);
   });
 }

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
@@ -27,6 +29,7 @@ struct LinkConfig {
   Duration prop_delay = Duration::millis(5);
   std::size_t queue_packets = 40;  // drop-tail capacity; reproduces paper Table 2 loaded RTTs
   double loss_rate = 0.0;          // iid random loss probability
+  FaultConfig fault;               // burst loss / outages / reordering (fault/fault.h)
 };
 
 struct LinkStats {
@@ -35,6 +38,8 @@ struct LinkStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t drops_queue = 0;
   std::uint64_t drops_random = 0;
+  std::uint64_t drops_fault = 0;  // dropped by an impairment model
+  std::uint64_t reordered = 0;    // packets given extra fault delay
   std::size_t max_queue_depth = 0;
 };
 
@@ -47,9 +52,15 @@ class Link {
   // The receiving endpoint. Must be set before the first send().
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
-  // Random loss draws come from this stream; a link with loss_rate == 0
-  // never touches it, so loss-free runs are RNG-schedule independent.
+  // Random loss and fault-model draws come from this stream; a link with
+  // loss_rate == 0 and no faults never touches it, so loss-free runs are
+  // RNG-schedule independent.
   void set_rng(Rng rng) { rng_ = rng; }
+
+  // Installs (or clears) an impairment model; normally built from
+  // LinkConfig::fault at construction. Tests may swap in custom models.
+  void set_fault_model(std::unique_ptr<FaultModel> model) { fault_ = std::move(model); }
+  FaultModel* fault_model() const { return fault_.get(); }
 
   // Offers a packet to the link. May drop (queue overflow or random loss).
   void send(Packet pkt);
@@ -79,6 +90,7 @@ class Link {
   std::string name_;
   DeliverFn deliver_;
   Rng rng_{0xabcdef12345678ULL};
+  std::unique_ptr<FaultModel> fault_;
 
   std::deque<Packet> queue_;
   bool busy_ = false;
@@ -89,7 +101,7 @@ class Link {
   // Flight-recorder instruments, labelled entity=name_ (no-ops unless a
   // recorder was attached to the Simulator before construction).
   struct Instruments {
-    Counter drops_queue, drops_random, busy_ns;
+    Counter drops_queue, drops_random, drops_fault, busy_ns;
     Gauge queue_depth;
   };
   Instruments obs_;

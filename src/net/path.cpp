@@ -10,6 +10,7 @@ LinkConfig down_link_config(const PathConfig& p) {
   c.prop_delay = p.rtt_base / 2;
   c.queue_packets = p.queue_packets;
   c.loss_rate = p.loss_rate;
+  c.fault = p.fault;
   return c;
 }
 

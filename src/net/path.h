@@ -21,6 +21,7 @@ struct PathConfig {
   std::size_t queue_packets = 40;
   double loss_rate = 0.0;
   Rate up_rate = Rate::mbps(100);        // ACK direction, effectively unconstrained
+  FaultConfig fault;                     // downlink impairments (fault/fault.h)
 };
 
 // Built-in technology profiles matching the paper's testbed. The base RTTs

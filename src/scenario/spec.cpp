@@ -176,6 +176,84 @@ VariationSpec parse_variation(const Json& j, const std::string& path) {
   return v;
 }
 
+FaultSpec parse_faults(const Json& j, const std::string& path) {
+  ObjectReader r(j, path);
+  FaultSpec f;
+
+  if (const Json* ge = r.get("gilbert_elliott")) {
+    ObjectReader gr(*ge, r.key_path("gilbert_elliott"));
+    f.gilbert_elliott.enabled = true;
+    f.gilbert_elliott.p_good_bad = gr.number("p_good_bad", f.gilbert_elliott.p_good_bad);
+    f.gilbert_elliott.p_bad_good = gr.number("p_bad_good", f.gilbert_elliott.p_bad_good);
+    f.gilbert_elliott.loss_good = gr.number("loss_good", f.gilbert_elliott.loss_good);
+    f.gilbert_elliott.loss_bad = gr.number("loss_bad", f.gilbert_elliott.loss_bad);
+    gr.finish();
+    if (f.gilbert_elliott.p_good_bad < 0.0 || f.gilbert_elliott.p_good_bad >= 1.0) {
+      spec_error(gr.key_path("p_good_bad"), "must be in [0, 1)");
+    }
+    // p_bad_good == 0 would make the bad state absorbing; use an outage for
+    // a permanent blackout instead.
+    if (f.gilbert_elliott.p_bad_good <= 0.0 || f.gilbert_elliott.p_bad_good > 1.0) {
+      spec_error(gr.key_path("p_bad_good"), "must be in (0, 1]");
+    }
+    if (f.gilbert_elliott.loss_good < 0.0 || f.gilbert_elliott.loss_good >= 1.0) {
+      spec_error(gr.key_path("loss_good"), "must be in [0, 1)");
+    }
+    if (f.gilbert_elliott.loss_bad < 0.0 || f.gilbert_elliott.loss_bad > 1.0) {
+      spec_error(gr.key_path("loss_bad"), "must be in [0, 1]");
+    }
+  }
+
+  if (const Json* o = r.get("outages")) {
+    if (!o->is_array()) spec_error(r.key_path("outages"), "expected an array");
+    for (std::size_t i = 0; i < o->items().size(); ++i) {
+      const std::string opath = r.key_path("outages") + "[" + std::to_string(i) + "]";
+      ObjectReader orr(o->items()[i], opath);
+      OutageSpec w;
+      w.at_s = orr.number("at_s", 0.0);
+      w.for_s = orr.number("for_s", 0.0);
+      orr.finish();
+      if (w.at_s < 0.0) spec_error(opath + ".at_s", "must be >= 0");
+      if (w.for_s <= 0.0) spec_error(opath + ".for_s", "must be > 0");
+      f.outages.push_back(w);
+    }
+  }
+
+  if (const Json* fl = r.get("flap")) {
+    ObjectReader fr(*fl, r.key_path("flap"));
+    f.flap.enabled = true;
+    f.flap.period_s = fr.number("period_s", f.flap.period_s);
+    f.flap.down_s = fr.number("down_s", f.flap.down_s);
+    f.flap.start_s = fr.number("start_s", f.flap.start_s);
+    fr.finish();
+    if (f.flap.period_s <= 0.0) spec_error(fr.key_path("period_s"), "must be > 0");
+    if (f.flap.down_s <= 0.0 || f.flap.down_s >= f.flap.period_s) {
+      spec_error(fr.key_path("down_s"), "must be in (0, period_s)");
+    }
+    if (f.flap.start_s < 0.0) spec_error(fr.key_path("start_s"), "must be >= 0");
+  }
+
+  if (const Json* re = r.get("reorder")) {
+    ObjectReader rr(*re, r.key_path("reorder"));
+    f.reorder.enabled = true;
+    f.reorder.prob = rr.number("prob", f.reorder.prob);
+    f.reorder.delay_ms = rr.number("delay_ms", f.reorder.delay_ms);
+    f.reorder.jitter_ms = rr.number("jitter_ms", f.reorder.jitter_ms);
+    rr.finish();
+    if (f.reorder.prob < 0.0 || f.reorder.prob > 1.0) {
+      spec_error(rr.key_path("prob"), "must be in [0, 1]");
+    }
+    if (f.reorder.delay_ms <= 0.0) spec_error(rr.key_path("delay_ms"), "must be > 0");
+    if (f.reorder.jitter_ms < 0.0) spec_error(rr.key_path("jitter_ms"), "must be >= 0");
+  }
+
+  r.finish();
+  if (!f.enabled()) {
+    spec_error(path, "empty faults block (give gilbert_elliott, outages, flap, or reorder)");
+  }
+  return f;
+}
+
 PathSpec parse_path(const Json& j, const std::string& path) {
   ObjectReader r(j, path);
   PathSpec p;
@@ -214,6 +292,7 @@ PathSpec parse_path(const Json& j, const std::string& path) {
   p.up_mbps = r.number("up_mbps", p.up_mbps);
   if (p.up_mbps <= 0.0) spec_error(r.key_path("up_mbps"), "must be > 0");
   if (const Json* v = r.get("variation")) p.variation = parse_variation(*v, r.key_path("variation"));
+  if (const Json* f = r.get("faults")) p.faults = parse_faults(*f, r.key_path("faults"));
   r.finish();
   return p;
 }
@@ -333,6 +412,43 @@ Json variation_to_json(const VariationSpec& v) {
   return j;
 }
 
+Json faults_to_json(const FaultSpec& f) {
+  Json j = Json::object();
+  if (f.gilbert_elliott.enabled) {
+    Json ge = Json::object();
+    ge.set("p_good_bad", Json::number(f.gilbert_elliott.p_good_bad));
+    ge.set("p_bad_good", Json::number(f.gilbert_elliott.p_bad_good));
+    ge.set("loss_good", Json::number(f.gilbert_elliott.loss_good));
+    ge.set("loss_bad", Json::number(f.gilbert_elliott.loss_bad));
+    j.set("gilbert_elliott", std::move(ge));
+  }
+  if (!f.outages.empty()) {
+    Json arr = Json::array();
+    for (const OutageSpec& w : f.outages) {
+      Json o = Json::object();
+      o.set("at_s", Json::number(w.at_s));
+      o.set("for_s", Json::number(w.for_s));
+      arr.push_back(std::move(o));
+    }
+    j.set("outages", std::move(arr));
+  }
+  if (f.flap.enabled) {
+    Json fl = Json::object();
+    fl.set("period_s", Json::number(f.flap.period_s));
+    fl.set("down_s", Json::number(f.flap.down_s));
+    fl.set("start_s", Json::number(f.flap.start_s));
+    j.set("flap", std::move(fl));
+  }
+  if (f.reorder.enabled) {
+    Json re = Json::object();
+    re.set("prob", Json::number(f.reorder.prob));
+    re.set("delay_ms", Json::number(f.reorder.delay_ms));
+    re.set("jitter_ms", Json::number(f.reorder.jitter_ms));
+    j.set("reorder", std::move(re));
+  }
+  return j;
+}
+
 Json path_to_json(const PathSpec& p) {
   Json j = Json::object();
   j.set("profile", Json::string(path_profile_name(p.profile)));
@@ -344,6 +460,9 @@ Json path_to_json(const PathSpec& p) {
   j.set("up_mbps", Json::number(p.up_mbps));
   if (p.variation.kind != VariationKind::kNone) {
     j.set("variation", variation_to_json(p.variation));
+  }
+  if (p.faults.enabled()) {
+    j.set("faults", faults_to_json(p.faults));
   }
   return j;
 }

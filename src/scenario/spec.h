@@ -52,6 +52,58 @@ struct VariationSpec {
   friend bool operator==(const VariationSpec&, const VariationSpec&) = default;
 };
 
+// Link impairment models for a path's downlink (fault/fault.h). Each
+// sub-block is enabled by its presence in the JSON; a default-constructed
+// FaultSpec (enabled() == false) resolves to a fault-free link that draws
+// nothing from the loss RNG stream.
+struct GilbertElliottSpec {
+  bool enabled = false;
+  double p_good_bad = 0.0;   // per-packet P(good -> bad)
+  double p_bad_good = 0.25;  // per-packet P(bad -> good)
+  double loss_good = 0.0;    // drop probability in the good state
+  double loss_bad = 0.5;     // drop probability in the bad state
+
+  friend bool operator==(const GilbertElliottSpec&, const GilbertElliottSpec&) = default;
+};
+
+struct OutageSpec {
+  double at_s = 0.0;   // window start
+  double for_s = 0.0;  // window length; all packets dropped in [at_s, at_s+for_s)
+
+  friend bool operator==(const OutageSpec&, const OutageSpec&) = default;
+};
+
+struct FlapSpec {
+  bool enabled = false;
+  double period_s = 10.0;  // cycle length
+  double down_s = 1.0;     // down-time at the start of each cycle
+  double start_s = 0.0;    // offset of the first down edge
+
+  friend bool operator==(const FlapSpec&, const FlapSpec&) = default;
+};
+
+struct ReorderSpec {
+  bool enabled = false;
+  double prob = 0.0;       // per-packet P(extra delay)
+  double delay_ms = 20.0;  // base extra propagation delay
+  double jitter_ms = 10.0; // plus U[0, jitter_ms)
+
+  friend bool operator==(const ReorderSpec&, const ReorderSpec&) = default;
+};
+
+struct FaultSpec {
+  GilbertElliottSpec gilbert_elliott;
+  std::vector<OutageSpec> outages;
+  FlapSpec flap;
+  ReorderSpec reorder;
+
+  bool enabled() const {
+    return gilbert_elliott.enabled || !outages.empty() || flap.enabled || reorder.enabled;
+  }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
 struct PathSpec {
   PathProfile profile = PathProfile::kWifi;
   // Fields below default from the profile at parse time (wifi: "wifi",
@@ -65,6 +117,7 @@ struct PathSpec {
   double loss_rate = 0.0;
   double up_mbps = 100.0;
   VariationSpec variation;
+  FaultSpec faults;  // downlink impairments ("faults" JSON block)
 
   friend bool operator==(const PathSpec&, const PathSpec&) = default;
 };

@@ -37,6 +37,34 @@ Duration duration_from_ms(double ms) {
   return Duration::nanos(std::llround(ms * 1e6));
 }
 
+FaultConfig resolve_faults(const FaultSpec& f) {
+  FaultConfig c;
+  if (f.gilbert_elliott.enabled) {
+    c.gilbert_elliott.enabled = true;
+    c.gilbert_elliott.p_good_bad = f.gilbert_elliott.p_good_bad;
+    c.gilbert_elliott.p_bad_good = f.gilbert_elliott.p_bad_good;
+    c.gilbert_elliott.loss_good = f.gilbert_elliott.loss_good;
+    c.gilbert_elliott.loss_bad = f.gilbert_elliott.loss_bad;
+  }
+  for (const OutageSpec& w : f.outages) {
+    c.outages.push_back(OutageWindow{Duration::from_seconds(w.at_s),
+                                     Duration::from_seconds(w.for_s)});
+  }
+  if (f.flap.enabled) {
+    c.flap.enabled = true;
+    c.flap.period = Duration::from_seconds(f.flap.period_s);
+    c.flap.down_time = Duration::from_seconds(f.flap.down_s);
+    c.flap.phase = Duration::from_seconds(f.flap.start_s);
+  }
+  if (f.reorder.enabled) {
+    c.reorder.enabled = true;
+    c.reorder.prob = f.reorder.prob;
+    c.reorder.delay = duration_from_ms(f.reorder.delay_ms);
+    c.reorder.jitter = duration_from_ms(f.reorder.jitter_ms);
+  }
+  return c;
+}
+
 // Run length used to size generated bandwidth traces: the video length for
 // streaming, the runners' safety caps otherwise.
 Duration trace_duration(const WorkloadSpec& w) {
@@ -65,12 +93,13 @@ PathConfig resolve_path(const PathSpec& p, bool* pure) {
           duration_from_ms(p.rtt_ms) == defaults.rtt_base &&
           p.queue_packets == static_cast<std::int64_t>(defaults.queue_packets) &&
           p.loss_rate == defaults.loss_rate &&
-          Rate::mbps(p.up_mbps) == defaults.up_rate;
+          Rate::mbps(p.up_mbps) == defaults.up_rate && !p.faults.enabled();
   c.name = p.name;
   c.rtt_base = duration_from_ms(p.rtt_ms);
   c.queue_packets = static_cast<std::size_t>(p.queue_packets);
   c.loss_rate = p.loss_rate;
   c.up_rate = Rate::mbps(p.up_mbps);
+  c.fault = resolve_faults(p.faults);
   return c;
 }
 

@@ -153,6 +153,16 @@ void Subflow::send_segment(std::uint64_t data_seq, std::uint32_t payload, bool r
   if (!rto_timer_.pending()) arm_rto();
 }
 
+void Subflow::collect_data_ranges(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+  for (const auto& [seq, seg] : inflight_) {
+    out.emplace_back(seg.data_seq, seg.data_seq + seg.payload);
+  }
+  for (const StagedSeg& seg : staged_) {
+    out.emplace_back(seg.data_seq, seg.data_seq + seg.payload);
+  }
+}
+
 SegmentRef Subflow::oldest_unacked() const {
   assert(!inflight_.empty());
   const SentSeg& s = inflight_.begin()->second;
@@ -179,13 +189,22 @@ void Subflow::on_ack_packet(const Packet& ack) {
     env_->on_rwnd_update(ack.rwnd);
     env_->on_data_ack(ack.data_ack);
   }
+  const std::uint64_t prev_una = snd_una_;
+  const std::uint64_t prev_sack_high = sack_high_;
   sack_high_ = std::max(sack_high_, ack.sack_high);
-  apply_sack(ack);
+  const bool newly_sacked = apply_sack(ack);
 
   if (ack.ack_seq > snd_una_) {
     process_new_ack(ack);
   } else if (!inflight_.empty()) {
     process_dupack(ack);
+  }
+
+  // Delivery evidence for RACK: this ack confirmed new data at the receiver,
+  // and its echoed timestamp tells us when the newest confirmed transmission
+  // left this sender.
+  if (snd_una_ > prev_una || sack_high_ > prev_sack_high || newly_sacked) {
+    rack_delivered_ts_ = std::max(rack_delivered_ts_, ack.ts_val);
   }
 
   update_loss_marks();
@@ -215,7 +234,10 @@ void Subflow::process_new_ack(const Packet& ack) {
   }
   snd_una_ = ack.ack_seq;
   dupacks_ = 0;
-  rto_backoff_ = 0;
+  // Karn's algorithm (RFC 6298 5.7): keep the backed-off RTO until an ack
+  // for data that was *not* retransmitted arrives; an ack elicited by a
+  // retransmission says nothing about the path's current RTT regime.
+  if (!ack.ts_retransmit) rto_backoff_ = 0;
   inter_loss_bytes_ += static_cast<double>(acked_bytes);
 
   // Karn's algorithm: only sample RTT from echoes of original transmissions.
@@ -282,13 +304,15 @@ void Subflow::process_dupack(const Packet& ack) {
   }
 }
 
-void Subflow::apply_sack(const Packet& ack) {
+bool Subflow::apply_sack(const Packet& ack) {
+  bool newly_sacked = false;
   for (int b = 0; b < ack.n_sack; ++b) {
     for (auto it = inflight_.lower_bound(ack.sack_lo[b]);
          it != inflight_.end() && it->first < ack.sack_hi[b]; ++it) {
       SentSeg& seg = it->second;
       if (seg.sacked) continue;
       seg.sacked = true;
+      newly_sacked = true;
       ++sacked_count_;
       if (seg.lost) {
         seg.lost = false;
@@ -299,6 +323,7 @@ void Subflow::apply_sack(const Packet& ack) {
       }
     }
   }
+  return newly_sacked;
 }
 
 Duration Subflow::rack_timeout() const {
@@ -316,7 +341,13 @@ void Subflow::update_loss_marks() {
     if (seq + config_.dupack_threshold > sack_high_) break;
     if (seg.lost || seg.sacked) continue;
     if (seg.retransmitted) {
-      if (sim_.now() - seg.sent_at > rack_timeout()) {
+      // Re-mark only with delivery evidence newer than the retransmission
+      // itself (RFC 8985): the peer confirmed something sent after it, so
+      // the retransmission had its chance and died. Pure elapsed time is
+      // not evidence — during a blackout this would otherwise resend every
+      // rack_timeout() forever, re-arming the RTO each time and never
+      // engaging the exponential backoff ladder.
+      if (rack_delivered_ts_ > seg.sent_at && sim_.now() - seg.sent_at > rack_timeout()) {
         seg.retransmitted = false;
         seg.lost = true;
         ++lost_not_rtx_;
@@ -343,6 +374,9 @@ void Subflow::arm_rack_timer() {
   for (const auto& [seq, seg] : inflight_) {
     if (seq + config_.dupack_threshold > sack_high_) break;
     if (seg.lost || seg.sacked || !seg.retransmitted) continue;
+    // No delivery evidence since this retransmission -> the RTO owns it; a
+    // later ack re-runs update_loss_marks() and re-evaluates this timer.
+    if (rack_delivered_ts_ <= seg.sent_at) continue;
     earliest = std::min(earliest, seg.sent_at);
   }
   if (earliest.is_never()) {
@@ -441,6 +475,10 @@ void Subflow::on_rto_fire() {
     ++lost_not_rtx_;
   }
   pump_retransmissions();
+  // The pump is pipe-gated and skips SACKed segments; whatever it managed to
+  // send, data is still outstanding, so this timer must never go quiet with
+  // a nonempty flight (invariant: rto-liveness).
+  if (!inflight_.empty() && !rto_timer_.pending()) arm_rto();
   if (env_ != nullptr) env_->on_subflow_ack(*this);
 }
 

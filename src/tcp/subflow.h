@@ -16,6 +16,8 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "net/packet.h"
 #include "net/path.h"
@@ -85,6 +87,18 @@ struct SubflowStats {
 struct SegmentRef {
   std::uint64_t data_seq = 0;
   std::uint32_t payload = 0;
+};
+
+// Sender-side scoreboard entry for one transmitted segment, keyed by subflow
+// sequence number. Exposed read-only for the invariant checker
+// (check/invariants.h); the state machine in subflow.cpp is the only writer.
+struct SentSeg {
+  std::uint64_t data_seq = 0;
+  std::uint32_t payload = 0;
+  TimePoint sent_at;
+  bool retransmitted = false;
+  bool sacked = false;  // receiver holds it out of order
+  bool lost = false;    // FACK-deemed lost, awaiting retransmission
 };
 
 class Subflow {
@@ -163,23 +177,33 @@ class Subflow {
   // instead of overwriting each other.
   Hook<TimePoint, double> on_cwnd_change;
 
- private:
-  struct SentSeg {
-    std::uint64_t data_seq = 0;
-    std::uint32_t payload = 0;
-    TimePoint sent_at;
-    bool retransmitted = false;
-    bool sacked = false;  // receiver holds it out of order
-    bool lost = false;    // FACK-deemed lost, awaiting retransmission
-  };
+  // --- invariant-checker inspection (check/invariants.h) --------------------
+  // Read-only views of the sender state machine; no test or checker may
+  // mutate through these.
+  const std::map<std::uint64_t, SentSeg>& inflight() const { return inflight_; }
+  std::uint64_t snd_una() const { return snd_una_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t sack_high() const { return sack_high_; }
+  std::size_t lost_not_rtx() const { return lost_not_rtx_; }
+  std::size_t sacked_count() const { return sacked_count_; }
+  bool in_recovery() const { return in_recovery_; }
+  int rto_backoff() const { return rto_backoff_; }
+  bool rto_pending() const { return rto_timer_.pending(); }
+  bool rack_pending() const { return rack_timer_.pending(); }
+  double min_cwnd() const { return config_.min_cwnd; }
+  // Appends the meta-level [data_seq, data_seq + payload) range of every
+  // segment this subflow still holds a copy of (in flight or staged).
+  void collect_data_ranges(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const;
 
+ private:
   CongestionController::AckContext make_ctx() const;
   void set_cwnd(double cwnd);
   void maybe_idle_reset();
   void process_new_ack(const Packet& ack);
   void process_dupack(const Packet& ack);
-  // Applies the ACK's SACK blocks to the scoreboard.
-  void apply_sack(const Packet& ack);
+  // Applies the ACK's SACK blocks to the scoreboard; returns true when the
+  // ack newly SACKed at least one segment (delivery evidence for RACK).
+  bool apply_sack(const Packet& ack);
   // Marks segments lost by the FACK rule (>= 3 segments SACKed above them).
   void update_loss_marks();
   void enter_fast_recovery();
@@ -230,6 +254,12 @@ class Subflow {
   Timer rto_timer_;
   Timer rack_timer_;
   int rto_backoff_ = 0;
+  // Send timestamp of the newest transmission whose delivery the peer has
+  // confirmed (cumulative or SACK). RACK-style lost-retransmission detection
+  // requires this to pass the retransmission's own send time — evidence the
+  // path delivered something sent after it (RFC 8985); with no such evidence
+  // (total blackout) recovery belongs to the RTO ladder. origin() = none yet.
+  TimePoint rack_delivered_ts_ = TimePoint::origin();
 
   TimePoint established_at_;
   bool cwnd_full_at_send_ = false;  // Linux tcp_is_cwnd_limited analogue
@@ -281,6 +311,11 @@ class SubflowReceiver {
   std::uint64_t rcv_next() const { return rcv_next_; }
   std::uint64_t rcv_high() const { return rcv_high_; }
   std::size_t ooo_held() const { return ooo_.size(); }
+  // Lowest held out-of-order subflow sequence; UINT64_MAX when none held
+  // (invariant: always > rcv_next()).
+  std::uint64_t ooo_min_seq() const {
+    return ooo_.empty() ? UINT64_MAX : ooo_.begin()->first;
+  }
 
  private:
   void send_ack(const Packet& trigger);

@@ -46,6 +46,31 @@ TEST(ConnectionTest, DeliversAllBytesInOrder) {
   EXPECT_EQ(conn->delivered_bytes(), 500'000u);
 }
 
+TEST(ConnectionTest, DuplicateHeldSegmentWithLongerPayloadExtendsCoverage) {
+  // A held out-of-order segment can be followed by a duplicate of the same
+  // data_seq that reaches further (e.g. a re-segmented reinjection). The
+  // reorder buffer must adopt the longer coverage: the subflow-level
+  // cumulative ack already freed the sender copy, so silently keeping the
+  // short one would strand the extra bytes and stall the transfer forever.
+  Testbed bed(hetero_config());
+  auto conn = bed.make_connection(scheduler_factory("default"));
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t bytes, TimePoint) { delivered += bytes; };
+  const TimePoint t = bed.sim().now();
+  conn->on_subflow_deliver(0, 1428, 500, t);
+  EXPECT_EQ(conn->meta_ooo_bytes(), 500u);
+  conn->on_subflow_deliver(0, 1428, 1428, t);  // longer duplicate wins
+  EXPECT_EQ(conn->meta_ooo_bytes(), 1428u);
+  conn->on_subflow_deliver(0, 1428, 100, t);  // shorter duplicate is ignored
+  EXPECT_EQ(conn->meta_ooo_bytes(), 1428u);
+  // Fill the hole: the drain must deliver through the extended coverage.
+  conn->on_subflow_deliver(0, 0, 1428, t);
+  bed.sim().run();
+  EXPECT_EQ(conn->rcv_data_next(), 2u * 1428u);
+  EXPECT_EQ(delivered, 2u * 1428u);
+  EXPECT_EQ(conn->meta_ooo_bytes(), 0u);
+}
+
 TEST(ConnectionTest, SendableCallbackRefillsBuffer) {
   TestbedConfig tb = hetero_config();
   tb.conn.sndbuf_bytes = 50'000;

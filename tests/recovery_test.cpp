@@ -3,6 +3,7 @@
 // queue's interaction with recovery.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "net/path.h"
@@ -38,6 +39,10 @@ struct LossRig {
         ++dropped;
         return;  // swallow the packet: a precise single-loss injector
       }
+      if (drop_fn && drop_fn(p)) {
+        ++dropped;
+        return;
+      }
       receiver.on_data_packet(p);
     });
     path.up().set_deliver([this](Packet p) { subflow.on_ack_packet(p); });
@@ -58,6 +63,9 @@ struct LossRig {
   std::uint64_t next = 0;
   int drop_next = 0;
   int dropped = 0;
+  // Targeted injector: return true to swallow this packet. Applied after
+  // drop_next, so tests can combine both.
+  std::function<bool(const Packet&)> drop_fn;
 };
 
 TEST(RecoveryTest, SingleLossRepairedByFastRetransmitNotRto) {
@@ -175,6 +183,89 @@ TEST(RecoveryTest, DeliveredExactlyOnceUnderHeavyLoss) {
   }
   EXPECT_EQ(rig.sink.delivered, 300u * 1428u);
   EXPECT_EQ(rig.sink.data_ack, 300u * 1428u);
+}
+
+TEST(RecoveryTest, KarnRtoBackoffHeldUntilNewDataAcks) {
+  LossRig rig;
+  rig.send_n(2);
+  rig.sim.run();  // seed SRTT; rto() settles to the 200 ms floor
+  // Lose a segment AND its first RTO retransmission: two timeouts on the
+  // same data back the RTO off twice.
+  rig.drop_next = 2;
+  rig.send_n(1);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(2));
+  EXPECT_EQ(rig.sink.delivered, 3u * 1428u);
+  EXPECT_GE(rig.subflow.stats().rto_events, 2u);
+  // The repairing ack was elicited by a retransmission; Karn's algorithm
+  // (RFC 6298 5.7) forbids trusting it to reset the backed-off RTO.
+  EXPECT_EQ(rig.subflow.rto_backoff(), 2);
+  // An ack of fresh, never-retransmitted data does clear it.
+  rig.send_n(1);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(1));
+  EXPECT_EQ(rig.sink.delivered, 4u * 1428u);
+  EXPECT_EQ(rig.subflow.rto_backoff(), 0);
+}
+
+TEST(RecoveryTest, NoRttSampleFromRetransmitElicitedAck) {
+  LossRig rig;
+  rig.send_n(2);
+  rig.sim.run();
+  const std::uint64_t samples = rig.subflow.stats().rtt_samples;
+  rig.drop_next = 1;
+  rig.send_n(1);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(1));
+  EXPECT_EQ(rig.sink.delivered, 3u * 1428u);
+  // Karn: the ack echoes a retransmission's timestamp; sampling it would
+  // poison SRTT with an ambiguous (possibly multi-RTO-spanning) value.
+  EXPECT_EQ(rig.subflow.stats().rtt_samples, samples);
+  rig.send_n(1);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(1));
+  EXPECT_EQ(rig.subflow.stats().rtt_samples, samples + 1);
+}
+
+TEST(RecoveryTest, SegmentDroppedTwiceStillRecovers) {
+  LossRig rig;
+  rig.send_n(2);
+  rig.sim.run();
+  // The burst's head vanishes twice: the original and the fast
+  // retransmission triggered by the followers' SACKs. Recovery must converge
+  // (RACK re-mark or RTO), never stall waiting for an ack that cannot come.
+  const std::uint64_t victim = rig.next;
+  int victim_drops = 2;
+  rig.drop_fn = [&](const Packet& p) {
+    if (p.data_seq == victim && victim_drops > 0) {
+      --victim_drops;
+      return true;
+    }
+    return false;
+  };
+  rig.send_n(12);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(5));
+  EXPECT_EQ(rig.sink.delivered, 14u * 1428u);
+  EXPECT_EQ(victim_drops, 0);
+  EXPECT_GE(rig.subflow.stats().retransmits, 2u);
+}
+
+TEST(RecoveryTest, BlackoutRetransmitsFollowRtoBackoffNotRackSpin) {
+  LossRig rig;
+  rig.send_n(2);
+  rig.sim.run();
+  // The head of a burst blacks out entirely: every copy dies. Followers
+  // deliver and their SACKs trigger one fast retransmission, but with no
+  // delivery evidence after it, each further retry must come from the RTO
+  // backoff ladder (0.2/0.4/0.8/1.6 s...), not a RACK timer respin every
+  // ~40 ms with the backoff never engaging.
+  const std::uint64_t victim = rig.next;
+  bool blackout = true;
+  rig.drop_fn = [&](const Packet& p) { return blackout && p.data_seq == victim; };
+  rig.send_n(8);
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(3));
+  EXPECT_LE(rig.subflow.stats().retransmits, 8u);
+  EXPECT_GE(rig.subflow.stats().rto_events, 2u);
+  EXPECT_GE(rig.subflow.rto_backoff(), 2);
+  blackout = false;
+  rig.sim.run_until(rig.sim.now() + Duration::seconds(10));
+  EXPECT_EQ(rig.sink.delivered, 10u * 1428u);
 }
 
 TEST(RecoveryTest, IdleResetDoesNotFireDuringRecovery) {

@@ -147,6 +147,47 @@ TEST(ScenarioSpecTest, ParsedTextRoundTripsThroughSerializer) {
   EXPECT_EQ(second, first);
 }
 
+TEST(ScenarioSpecTest, FaultsBlockRoundTripsFieldExact) {
+  // Every fault sub-block populated with non-default values; serialize ->
+  // parse must reproduce the spec exactly (this is what makes
+  // `mps_run --print-spec` a faithful record of a faulted run).
+  ScenarioSpec s;
+  s.paths = {wifi_path(8.0), lte_path(10.0)};
+  FaultSpec& f = s.paths[0].faults;
+  f.gilbert_elliott.enabled = true;
+  f.gilbert_elliott.p_good_bad = 0.02;
+  f.gilbert_elliott.p_bad_good = 0.3;
+  f.gilbert_elliott.loss_good = 0.001;
+  f.gilbert_elliott.loss_bad = 0.6;
+  f.outages.push_back({1.5, 0.25});
+  f.outages.push_back({4.0, 0.1});
+  f.flap.enabled = true;
+  f.flap.period_s = 0.5;
+  f.flap.down_s = 0.15;
+  f.flap.start_s = 0.2;
+  s.paths[1].faults.reorder.enabled = true;
+  s.paths[1].faults.reorder.prob = 0.05;
+  s.paths[1].faults.reorder.delay_ms = 30.0;
+  s.paths[1].faults.reorder.jitter_ms = 30.0;
+  const ScenarioSpec back = parse_scenario(serialize_scenario(s));
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(serialize_scenario(back), serialize_scenario(s));
+  // And a hand-written faults block parses to the same structure.
+  const ScenarioSpec parsed = parse_scenario(R"({
+    "paths": [{"profile": "wifi", "rate_mbps": 8,
+               "faults": {"gilbert_elliott": {"p_good_bad": 0.02, "p_bad_good": 0.3,
+                                              "loss_good": 0.001, "loss_bad": 0.6},
+                          "outages": [{"at_s": 1.5, "for_s": 0.25},
+                                      {"at_s": 4.0, "for_s": 0.1}],
+                          "flap": {"period_s": 0.5, "down_s": 0.15, "start_s": 0.2}}},
+              {"profile": "lte", "rate_mbps": 10,
+               "faults": {"reorder": {"prob": 0.05, "delay_ms": 30, "jitter_ms": 30}}}]
+  })");
+  EXPECT_EQ(parsed.paths[0].faults, s.paths[0].faults);
+  EXPECT_EQ(parsed.paths[1].faults, s.paths[1].faults);
+}
+
+
 // Errors must name the offending key path.
 void expect_spec_error(const std::string& text, const std::string& key) {
   try {
@@ -179,6 +220,26 @@ TEST(ScenarioSpecTest, InvalidSpecsNameTheOffendingKey) {
                     "workload.runs");
   expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1}], "sede": 3})",
                     "sede");
+}
+
+TEST(ScenarioSpecTest, InvalidFaultsNameTheOffendingKey) {
+  // p_bad_good = 0 makes the bad state absorbing (that's an outage, not GE).
+  expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1,
+                        "faults": {"gilbert_elliott": {"p_good_bad": 0.1,
+                                                       "p_bad_good": 0}}}]})",
+                    "paths[0].faults.gilbert_elliott.p_bad_good");
+  expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1,
+                        "faults": {"outages": [{"at_s": 1}]}}]})",
+                    "faults.outages[0].for_s");
+  expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1,
+                        "faults": {"flap": {"period_s": 1, "down_s": 2}}}]})",
+                    "faults.flap.down_s");
+  expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1,
+                        "faults": {"reorder": {"prob": 1.5}}}]})",
+                    "faults.reorder.prob");
+  expect_spec_error(R"({"paths": [{"profile": "wifi", "rate_mbps": 1,
+                        "faults": {}}]})",
+                    "faults");
 }
 
 // --- builder ownership ------------------------------------------------------

@@ -1,0 +1,217 @@
+// Tests for the fault-injection models (fault/fault.h), the protocol
+// invariant checker (check/invariants.h), and a scaled-down version of the
+// mps_stress grid (check/stress.h) so ctest exercises every fault profile
+// under the checker on every run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/stress.h"
+#include "fault/fault.h"
+#include "obs/recorder.h"
+#include "scenario/world.h"
+#include "sched/registry.h"
+#include "util/rng.h"
+
+namespace mps {
+namespace {
+
+// --- fault models -----------------------------------------------------------
+
+TEST(FaultModelTest, GilbertElliottNeverLeavesGoodStateWhenTransitionIsZero) {
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.p_good_bad = 0.0;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;  // would be fatal if the chain ever went bad
+  GilbertElliottLoss ge(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(ge.should_drop(TimePoint::origin(), rng));
+  }
+  EXPECT_FALSE(ge.in_bad_state());
+}
+
+TEST(FaultModelTest, GilbertElliottAbsorbingBadStateDropsEverything) {
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.p_good_bad = 1.0;  // first packet transitions good -> bad
+  cfg.p_bad_good = 0.0;  // and the bad state is absorbing
+  cfg.loss_bad = 1.0;
+  GilbertElliottLoss ge(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ge.should_drop(TimePoint::origin(), rng));
+  }
+  EXPECT_TRUE(ge.in_bad_state());
+}
+
+TEST(FaultModelTest, GilbertElliottLongRunLossMatchesStationaryDistribution) {
+  // pi_bad = p_gb / (p_gb + p_bg) = 0.05 / 0.30; expected loss = pi_bad * 0.5
+  // = 1/12 ~ 0.083. A 50k-packet run should land well within [0.06, 0.11].
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.p_good_bad = 0.05;
+  cfg.p_bad_good = 0.25;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 0.5;
+  GilbertElliottLoss ge(cfg);
+  Rng rng(42);
+  int drops = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (ge.should_drop(TimePoint::origin(), rng)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_GT(rate, 0.06);
+  EXPECT_LT(rate, 0.11);
+}
+
+TEST(FaultModelTest, OutageWindowsAreHalfOpenAndDrawNoRandomness) {
+  OutageSchedule sched({{Duration::seconds(1), Duration::millis(500)}}, FlapConfig{});
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_FALSE(sched.down_at(t0 + Duration::millis(999)));
+  EXPECT_TRUE(sched.down_at(t0 + Duration::seconds(1)));  // start inclusive
+  EXPECT_TRUE(sched.down_at(t0 + Duration::millis(1499)));
+  EXPECT_FALSE(sched.down_at(t0 + Duration::millis(1500)));  // end exclusive
+  // should_drop must not consume from the RNG stream: draws before and after
+  // must line up with a fresh stream of the same seed.
+  Rng a(9), b(9);
+  (void)sched.should_drop(t0 + Duration::seconds(1), a);
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(FaultModelTest, FlapCyclesDownThenUpEachPeriod) {
+  FlapConfig flap;
+  flap.enabled = true;
+  flap.period = Duration::seconds(1);
+  flap.down_time = Duration::millis(200);
+  flap.phase = Duration::millis(500);
+  OutageSchedule sched({}, flap);
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_FALSE(sched.down_at(t0));  // before the first down edge
+  EXPECT_FALSE(sched.down_at(t0 + Duration::millis(499)));
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const Duration base = Duration::millis(500) + Duration::seconds(cycle);
+    EXPECT_TRUE(sched.down_at(t0 + base)) << cycle;
+    EXPECT_TRUE(sched.down_at(t0 + base + Duration::millis(199))) << cycle;
+    EXPECT_FALSE(sched.down_at(t0 + base + Duration::millis(200))) << cycle;
+    EXPECT_FALSE(sched.down_at(t0 + base + Duration::millis(999))) << cycle;
+  }
+}
+
+TEST(FaultModelTest, ReorderJitterDelayStaysWithinConfiguredBounds) {
+  ReorderConfig cfg;
+  cfg.enabled = true;
+  cfg.prob = 1.0;
+  cfg.delay = Duration::millis(30);
+  cfg.jitter = Duration::millis(30);
+  ReorderJitter jitter(cfg);
+  Rng rng(11);
+  for (int i = 0; i < 1'000; ++i) {
+    const Duration d = jitter.extra_delay(TimePoint::origin(), rng);
+    EXPECT_GE(d, Duration::millis(30));
+    EXPECT_LT(d, Duration::millis(60));
+  }
+  cfg.prob = 0.0;
+  ReorderJitter off(cfg);
+  // prob=0 short-circuits: no delay and no RNG draw.
+  Rng a(13), b(13);
+  EXPECT_EQ(off.extra_delay(TimePoint::origin(), a), Duration::zero());
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(FaultModelTest, MakeFaultModelBuildsOnlyWhatIsConfigured) {
+  EXPECT_EQ(make_fault_model(FaultConfig{}), nullptr);  // clean link: no model
+  FaultConfig one;
+  one.gilbert_elliott.enabled = true;
+  one.gilbert_elliott.p_good_bad = 0.1;
+  auto single = make_fault_model(one);
+  ASSERT_NE(single, nullptr);
+  EXPECT_STREQ(single->name(), "gilbert_elliott");
+  FaultConfig many = one;
+  many.reorder.enabled = true;
+  many.reorder.prob = 0.1;
+  auto composite = make_fault_model(many);
+  ASSERT_NE(composite, nullptr);
+  EXPECT_STREQ(composite->name(), "composite");
+}
+
+// --- invariant checker ------------------------------------------------------
+
+TEST(InvariantCheckerTest, CleanRunReportsNoViolations) {
+  StressCell cell;
+  cell.bytes = 64 * 1024;
+  const StressCellResult r = run_stress_cell(cell);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "stalled" : r.violations.front());
+  EXPECT_GT(r.checks_run, 0u);
+  EXPECT_EQ(r.drops_random + r.drops_fault, 0u);
+}
+
+TEST(InvariantCheckerTest, DetectsCorruptedMetaState) {
+  // Drive the receiver side past the sender through the public MetaSink
+  // entry point: rcv_data_next overtakes next_data_seq, which violates
+  // monotonicity/ordering. The checker must flag it — this is the positive
+  // control proving the stress harness can actually see bugs.
+  FlightRecorder recorder;
+  WorldBuilder builder(stress_spec(StressCell{}));
+  auto world = builder.build(&recorder);
+  InvariantChecker checker(world->sim());
+  auto conn = world->make_connection(scheduler_factory("default"));
+  checker.watch(*conn);
+  checker.check_now("baseline");
+  EXPECT_TRUE(checker.ok());
+  conn->on_subflow_deliver(0, 0, 1428, world->sim().now());
+  checker.check_now("injected");
+  EXPECT_FALSE(checker.ok());
+  EXPECT_FALSE(checker.report().empty());
+}
+
+// --- scaled-down stress grid ------------------------------------------------
+
+TEST(StressGridTest, AllProfilesPassUnderCheckerAndActuallyBite) {
+  std::map<std::string, StressCellResult> agg;
+  for (const std::string& profile : stress_profile_names()) {
+    for (const char* sched : {"default", "ecf"}) {
+      for (std::uint64_t seed : {1u, 2u}) {
+        StressCell cell;
+        cell.profile = profile;
+        cell.scheduler = sched;
+        cell.seed = seed;
+        // Harness default: long enough that the outage/flap windows (first
+        // down edge at 0.2 s) land inside the transfer.
+        cell.bytes = 512 * 1024;
+        const StressCellResult r = run_stress_cell(cell);
+        EXPECT_TRUE(r.ok()) << profile << "/" << sched << " seed=" << seed << ": "
+                            << (r.violations.empty() ? "stalled" : r.violations.front());
+        StressCellResult& a = agg[profile];
+        a.drops_random += r.drops_random;
+        a.drops_fault += r.drops_fault;
+        a.reordered += r.reordered;
+        a.retransmits += r.retransmits;
+      }
+    }
+  }
+  // A profile that injects nothing tests nothing: every non-clean profile
+  // must have produced observable impairment across its four cells.
+  EXPECT_EQ(agg["clean"].drops_random + agg["clean"].drops_fault, 0u);
+  EXPECT_GT(agg["iid"].drops_random, 0u);
+  EXPECT_GT(agg["ge_wifi"].drops_fault, 0u);
+  EXPECT_GT(agg["outage"].drops_fault, 0u);
+  EXPECT_GT(agg["reorder"].reordered, 0u);
+  EXPECT_GT(agg["reorder"].retransmits, 0u);  // reordering provokes recovery
+  EXPECT_GT(agg["storm"].drops_fault, 0u);
+  EXPECT_GT(agg["storm"].reordered, 0u);
+}
+
+TEST(StressGridTest, UnknownProfileNameThrows) {
+  StressCell cell;
+  cell.profile = "no-such-profile";
+  EXPECT_THROW(stress_spec(cell), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mps

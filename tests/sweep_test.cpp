@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/stress.h"
 #include "exp/streaming.h"
 #include "exp/sweep.h"
 
@@ -155,6 +156,49 @@ TEST(SweepTest, GridParallelMatchesSerialBitExact) {
     EXPECT_EQ(s.last_packet_gap.raw(), p.last_packet_gap.raw()) << "cell " << i;
     ASSERT_EQ(s.chunks.size(), p.chunks.size()) << "cell " << i;
   }
+}
+
+// Same property for faulted worlds: the fault models draw from the per-link
+// RNG forks, so random loss, burst loss, and reorder jitter must replay
+// bit-identically regardless of how many sweep workers run the cells.
+TEST(SweepTest, FaultedStressCellsMatchAcrossJobCounts) {
+  auto run_grid = [](int jobs) {
+    std::vector<StressCell> cells;
+    for (const char* profile : {"iid", "ge_wifi", "storm"}) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        StressCell c;
+        c.profile = profile;
+        c.scheduler = "ecf";
+        c.seed = seed;
+        c.bytes = 256 * 1024;
+        cells.push_back(c);
+      }
+    }
+    SweepOptions opts;
+    opts.jobs = jobs;
+    return sweep_map<StressCellResult>(
+        cells.size(), [&](std::size_t i) { return run_stress_cell(cells[i]); }, opts);
+  };
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  std::uint64_t total_drops = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& s = serial[i];
+    const auto& p = parallel[i];
+    EXPECT_TRUE(s.ok()) << "cell " << i << ": "
+                        << (s.violations.empty() ? "stalled" : s.violations.front());
+    total_drops += s.drops_random + s.drops_fault;
+    EXPECT_EQ(s.completion_s, p.completion_s) << "cell " << i;  // bit-exact double
+    EXPECT_EQ(s.drops_random, p.drops_random) << "cell " << i;
+    EXPECT_EQ(s.drops_fault, p.drops_fault) << "cell " << i;
+    EXPECT_EQ(s.reordered, p.reordered) << "cell " << i;
+    EXPECT_EQ(s.retransmits, p.retransmits) << "cell " << i;
+    EXPECT_EQ(s.rto_events, p.rto_events) << "cell " << i;
+  }
+  // The grid as a whole must have exercised the fault paths, or the
+  // bit-exactness above proves nothing about fault-model RNG discipline.
+  EXPECT_GT(total_drops, 0u);
 }
 
 }  // namespace

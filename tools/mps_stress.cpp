@@ -1,0 +1,146 @@
+// mps_stress — seeded invariant-checked stress sweep over fault profiles.
+//
+//   mps_stress [--seeds N] [--bytes B] [--profiles a,b,...]
+//              [--schedulers a,b,...] [--verbose]
+//
+// Runs every (profile x scheduler x seed) cell of the grid as a two-path
+// download with an InvariantChecker attached (check/stress.h), in parallel
+// (MPS_BENCH_JOBS workers, like the bench sweeps). Prints a per-profile
+// summary and every violation, and exits nonzero if any cell stalled or
+// tripped an invariant — so running this binary under ASan is the
+// "find the bugs hiding in the loss/recovery paths" gate.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/stress.h"
+#include "exp/sweep.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i <= s.size()) {
+    std::size_t j = s.find(',', i);
+    if (j == std::string::npos) j = s.size();
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 8;
+  std::uint64_t bytes = 512 * 1024;
+  std::vector<std::string> profiles = mps::stress_profile_names();
+  std::vector<std::string> schedulers = {"default", "ecf", "blest", "daps", "rr", "redundant"};
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mps_stress: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--bytes") {
+      bytes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--profiles") {
+      profiles = split_csv(next());
+    } else if (arg == "--schedulers") {
+      schedulers = split_csv(next());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mps_stress [--seeds N] [--bytes B] [--profiles a,b,...]\n"
+                   "                  [--schedulers a,b,...] [--verbose]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  std::vector<mps::StressCell> cells;
+  for (const std::string& profile : profiles) {
+    for (const std::string& sched : schedulers) {
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        mps::StressCell c;
+        c.profile = profile;
+        c.scheduler = sched;
+        c.seed = 1 + s;
+        c.bytes = bytes;
+        cells.push_back(c);
+      }
+    }
+  }
+
+  std::printf("mps_stress: %zu cells (%zu profiles x %zu schedulers x %llu seeds), %d jobs\n",
+              cells.size(), profiles.size(), schedulers.size(), (unsigned long long)seeds,
+              mps::sweep_jobs());
+
+  const std::vector<mps::StressCellResult> results = mps::sweep_map<mps::StressCellResult>(
+      cells.size(), [&](std::size_t i) { return mps::run_stress_cell(cells[i]); });
+
+  struct ProfileAgg {
+    std::size_t cells = 0, failed = 0;
+    std::uint64_t drops = 0, reordered = 0, retransmits = 0, rtos = 0, checks = 0;
+  };
+  std::map<std::string, ProfileAgg> by_profile;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const mps::StressCell& c = cells[i];
+    const mps::StressCellResult& r = results[i];
+    ProfileAgg& agg = by_profile[c.profile];
+    ++agg.cells;
+    agg.drops += r.drops_random + r.drops_fault;
+    agg.reordered += r.reordered;
+    agg.retransmits += r.retransmits;
+    agg.rtos += r.rto_events;
+    agg.checks += r.checks_run;
+    if (verbose) {
+      std::printf("  %-8s %-9s seed=%-3llu %s t=%.3fs rtx=%llu rto=%llu drops=%llu\n",
+                  c.profile.c_str(), c.scheduler.c_str(), (unsigned long long)c.seed,
+                  r.ok() ? "ok  " : "FAIL", r.completion_s,
+                  (unsigned long long)r.retransmits, (unsigned long long)r.rto_events,
+                  (unsigned long long)(r.drops_random + r.drops_fault));
+    }
+    if (!r.ok()) {
+      ++failed;
+      ++agg.failed;
+      std::printf("FAIL %s/%s seed=%llu:\n", c.profile.c_str(), c.scheduler.c_str(),
+                  (unsigned long long)c.seed);
+      std::size_t shown = 0;
+      for (const std::string& v : r.violations) {
+        if (shown++ >= 8) {
+          std::printf("    ... (%zu more)\n", r.violations.size() - 8);
+          break;
+        }
+        std::printf("    %s\n", v.c_str());
+      }
+    }
+  }
+
+  std::printf("%-9s %6s %6s %10s %9s %9s %6s %12s\n", "profile", "cells", "fail", "drops",
+              "reorder", "rtx", "rto", "checks");
+  for (const auto& [name, agg] : by_profile) {
+    std::printf("%-9s %6zu %6zu %10llu %9llu %9llu %6llu %12llu\n", name.c_str(), agg.cells,
+                agg.failed, (unsigned long long)agg.drops, (unsigned long long)agg.reordered,
+                (unsigned long long)agg.retransmits, (unsigned long long)agg.rtos,
+                (unsigned long long)agg.checks);
+  }
+
+  if (failed != 0) {
+    std::printf("mps_stress: %zu/%zu cells FAILED\n", failed, cells.size());
+    return 1;
+  }
+  std::printf("mps_stress: all %zu cells ok\n", cells.size());
+  return 0;
+}
