@@ -7,6 +7,7 @@
 #   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
 #   scripts/check.sh --scenarios   # only the scenario smoke (assumes ./build exists)
 #   scripts/check.sh --stress      # only a full seeded stress sweep (assumes ./build)
+#   scripts/check.sh --fairness    # only the fairness smoke (assumes ./build)
 #
 # The default suite and the sanitizer suite both end with a bounded
 # invariant-checked stress sweep (tools/mps_stress): every fault profile x
@@ -43,6 +44,25 @@ run_scenarios_smoke() {
   done
 }
 
+# Competing-traffic smoke: the bench_fairness grid must be bit-identical
+# serial vs parallel (the churn engine's core determinism contract), and the
+# contended-bottleneck preset must run end to end.
+run_fairness_smoke() {
+  local build_dir="$1"
+  echo "fairness smoke ($build_dir): bench_fairness jobs=1 vs jobs=4"
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_fairness mps_run
+  local serial parallel
+  serial="$(MPS_BENCH_SCALE=quick MPS_BENCH_JOBS=1 "$build_dir/bench/bench_fairness")"
+  parallel="$(MPS_BENCH_SCALE=quick MPS_BENCH_JOBS=4 "$build_dir/bench/bench_fairness")"
+  if [[ "$serial" != "$parallel" ]]; then
+    echo "bench_fairness: jobs=1 vs jobs=4 outputs differ" >&2
+    diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+    return 1
+  fi
+  echo "  scenarios/contended_bottleneck.json"
+  "$build_dir/tools/mps_run" scenarios/contended_bottleneck.json >/dev/null
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -59,6 +79,7 @@ tsan=0
 notrace=0
 scenarios_only=0
 stress_only=0
+fairness_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -66,6 +87,7 @@ for arg in "$@"; do
     --notrace) notrace=1 ;;
     --scenarios) scenarios_only=1 ;;
     --stress) stress_only=1 ;;
+    --fairness) fairness_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -82,9 +104,16 @@ if [[ "$stress_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$fairness_only" == 1 ]]; then
+  run_fairness_smoke build
+  echo "check.sh: fairness smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
 run_stress_sweep build --seeds 2
+run_fairness_smoke build
 
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address

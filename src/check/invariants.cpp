@@ -53,6 +53,15 @@ void InvariantChecker::watch(Connection& conn) {
   watched_.push_back(w);
 }
 
+void InvariantChecker::unwatch(Connection& conn) {
+  for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+    if (it->conn == &conn) {
+      watched_.erase(it);
+      return;
+    }
+  }
+}
+
 void InvariantChecker::violation(const char* invariant, std::string detail) {
   if (violations_.size() >= kMaxViolations) return;
   violations_.push_back(Violation{sim_.now(), invariant, std::move(detail)});

@@ -66,6 +66,10 @@ class InvariantChecker final : public EventSink {
   // checks starts at the connection's current counters.
   void watch(Connection& conn);
 
+  // Drops a connection from the watched set. Churn harnesses must call this
+  // before destroying a watched connection — ConnWatch holds a raw pointer.
+  void unwatch(Connection& conn);
+
   // Runs every check (including the settled-only ones) immediately.
   // `context` labels any violations found. Safe to call between run slices.
   void check_now(const char* context);

@@ -8,6 +8,7 @@
 #include "obs/recorder.h"
 #include "scenario/world.h"
 #include "sched/registry.h"
+#include "traffic/engine.h"
 
 namespace mps {
 
@@ -58,6 +59,22 @@ void apply_profile(const std::string& profile, ScenarioSpec& spec) {
     }
     return;
   }
+  if (profile == "churn") {
+    // Competing flows arriving and departing mid-run under light iid loss:
+    // exercises Connection teardown with packets in flight (mux orphans),
+    // checker watch/unwatch, and recovery racing against flow lifetime.
+    wifi.loss_rate = 0.01;
+    lte.loss_rate = 0.002;
+    spec.traffic.enabled = true;
+    spec.traffic.flows = 3;
+    spec.traffic.arrival_rate_per_s = 1.5;
+    spec.traffic.flow_bytes = std::max<std::int64_t>(32 * 1024,
+                                                     static_cast<std::int64_t>(spec.workload.bytes / 8));
+    spec.traffic.size_dist = "exponential";
+    spec.traffic.duration_s = 8.0;
+    spec.traffic.cross = {CrossTrafficSpec{1, 1, 0.0}};
+    return;
+  }
   if (profile == "storm") {
     wifi.faults = ge_wifi_faults();
     wifi.faults.gilbert_elliott.p_good_bad = 0.03;
@@ -77,11 +94,55 @@ void apply_profile(const std::string& profile, ScenarioSpec& spec) {
   throw std::invalid_argument("unknown stress profile: " + profile);
 }
 
+// A churn cell runs the traffic engine instead of a single download: every
+// flow is watched from creation to teardown, the checker runs in 250 ms
+// slices (so trace-disabled builds still check), and "completed" means at
+// least one sized flow finished — under churn, late arrivals legitimately
+// outlive the run.
+StressCellResult run_churn_cell(const ScenarioSpec& spec) {
+  FlightRecorder recorder;
+  WorldBuilder builder(spec);
+  std::unique_ptr<World> world = builder.build(&recorder);
+
+  InvariantChecker checker(world->sim());
+  TrafficEngine engine(*world, builder.spec());
+  engine.on_flow_start = [&](Connection& c) { checker.watch(c); };
+  engine.on_flow_end = [&](Connection& c) { checker.unwatch(c); };
+  engine.tick_s = 0.25;
+  engine.on_tick = [&] { checker.check_now("slice"); };
+  const TrafficResult res = engine.run();
+
+  StressCellResult result;
+  result.completed = res.completed > 0;
+  result.completion_s = res.completion_s.mean();
+  if (res.completed == 0) {
+    result.violations.push_back("churn: no flow completed (started " +
+                                std::to_string(res.started) + ")");
+  }
+  checker.check_now("final");
+  for (const auto& v : checker.violations()) {
+    result.violations.push_back("t=" + v.t.str() + " [" + v.invariant + "] " + v.detail);
+  }
+  result.checks_run = checker.checks_run();
+
+  for (std::size_t i = 0; i < world->path_count(); ++i) {
+    const LinkStats& ls = world->path(i).down().stats();
+    result.drops_random += ls.drops_random;
+    result.drops_fault += ls.drops_fault;
+    result.reordered += ls.reordered;
+  }
+  for (const TrafficFlowRecord& f : res.flows) {
+    result.retransmits += f.retransmits;
+    result.rto_events += f.rto_events;
+  }
+  return result;
+}
+
 }  // namespace
 
 const std::vector<std::string>& stress_profile_names() {
-  static const std::vector<std::string> names = {"clean",  "iid",     "ge_wifi",
-                                                 "outage", "reorder", "storm"};
+  static const std::vector<std::string> names = {"clean",  "iid",     "ge_wifi", "outage",
+                                                 "reorder", "storm",  "churn"};
   return names;
 }
 
@@ -100,6 +161,7 @@ ScenarioSpec stress_spec(const StressCell& cell) {
 
 StressCellResult run_stress_cell(const StressCell& cell) {
   const ScenarioSpec spec = stress_spec(cell);
+  if (spec.traffic.enabled) return run_churn_cell(spec);
   FlightRecorder recorder;
   WorldBuilder builder(spec);
   std::unique_ptr<World> world = builder.build(&recorder);

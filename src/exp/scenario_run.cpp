@@ -1,7 +1,10 @@
 #include "exp/scenario_run.h"
 
+#include <cstdarg>
+#include <cstdio>
 #include <stdexcept>
 
+#include "exp/ideal.h"
 #include "tcp/cc_registry.h"
 
 namespace mps {
@@ -148,6 +151,10 @@ WebRunResult run_web(const ScenarioSpec& spec) {
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions& opts) {
   ScenarioOutcome out;
   out.kind = spec.workload.kind;
+  if (spec.traffic.enabled) {
+    out.traffic = run_traffic(spec, opts.recorder);
+    return out;
+  }
   switch (spec.workload.kind) {
     case WorkloadKind::kStream:
       out.streaming = run_streaming_avg(streaming_params_from_spec(spec, opts),
@@ -169,6 +176,90 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
       break;
   }
   return out;
+}
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+std::string format_traffic(const ScenarioSpec& spec, const TrafficResult& t) {
+  std::size_t mptcp_started = 0;
+  std::size_t cross_flows = 0;
+  for (const TrafficFlowRecord& f : t.flows) {
+    if (f.cross) ++cross_flows;
+    else if (f.started) ++mptcp_started;
+  }
+  std::string s;
+  appendf(s, "traffic %s: %lld initial + %zu churned + %zu cross flows, %.1f s\n",
+          spec.scheduler.c_str(), static_cast<long long>(spec.traffic.flows), t.churned,
+          cross_flows, t.duration_s);
+  appendf(s, "  agg goodput %.2f Mbps (mptcp %.2f, cross %.2f), capacity %.1f, util %.2f\n",
+          t.aggregate_goodput_mbps, t.mptcp_goodput_mbps, t.cross_goodput_mbps,
+          t.capacity_mbps, t.utilization);
+  appendf(s,
+          "  jain %.3f over %zu mptcp flows, completed %zu, fct mean/p95 %.3f/%.3f s, "
+          "orphans %llu\n",
+          t.jain, mptcp_started, t.completed, t.completion_s.mean(),
+          t.completion_s.quantile(0.95), static_cast<unsigned long long>(t.orphans));
+  return s;
+}
+
+}  // namespace
+
+std::string format_outcome(const ScenarioSpec& spec, const ScenarioOutcome& out) {
+  std::string s;
+  if (spec.traffic.enabled) return format_traffic(spec, out.traffic);
+  switch (out.kind) {
+    case WorkloadKind::kStream: {
+      const StreamingParams p = streaming_params_from_spec(spec);
+      const StreamingResult& r = out.streaming;
+      appendf(s,
+              "stream %s %.2f/%.2f Mbps (%lld run%s): bitrate %.2f Mbps (ideal %.2f),\n"
+              "  tput %.2f Mbps, fast-path fraction %.2f, lte IW resets %llu,\n"
+              "  rtt wifi/lte %.0f/%.0f ms, ooo p50/p99 %.3f/%.3f s, rebuffer %.1f s\n",
+              spec.scheduler.c_str(), p.wifi_mbps, p.lte_mbps,
+              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
+              r.mean_bitrate_mbps, ideal_bitrate_mbps(p.wifi_mbps, p.lte_mbps),
+              r.mean_throughput_mbps, r.fraction_fast,
+              static_cast<unsigned long long>(r.iw_resets_lte), r.mean_rtt_wifi_ms,
+              r.mean_rtt_lte_ms, r.ooo_delay.quantile(0.5), r.ooo_delay.quantile(0.99),
+              r.rebuffer_time.to_seconds());
+      break;
+    }
+    case WorkloadKind::kDownload:
+      appendf(s, "download %s %lld bytes (%lld run%s): mean %.3f s",
+              spec.scheduler.c_str(), static_cast<long long>(spec.workload.bytes),
+              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
+              out.download_completions.mean());
+      if (spec.workload.runs > 1) {
+        appendf(s, " (min %.3f, max %.3f)", out.download_completions.min(),
+                out.download_completions.max());
+      }
+      appendf(s, ", fast-path fraction %.2f\n", out.download.fraction_fast);
+      break;
+    case WorkloadKind::kWeb: {
+      const WebRunResult& r = out.web;
+      appendf(s,
+              "web %s (%lld run%s): page %.2f s, object mean/p90/p99 %.3f/%.3f/%.3f s, "
+              "ooo p99 %.3f s\n",
+              spec.scheduler.c_str(), static_cast<long long>(spec.workload.runs),
+              spec.workload.runs == 1 ? "" : "s", r.mean_page_load_s, r.object_times.mean(),
+              r.object_times.quantile(0.9), r.object_times.quantile(0.99),
+              r.ooo_delay.quantile(0.99));
+      break;
+    }
+  }
+  return s;
 }
 
 }  // namespace mps

@@ -6,10 +6,13 @@
 // byte-identical output.
 #pragma once
 
+#include <string>
+
 #include "exp/download.h"
 #include "exp/streaming.h"
 #include "exp/webrun.h"
 #include "scenario/world.h"
+#include "traffic/engine.h"
 
 namespace mps {
 
@@ -35,17 +38,25 @@ StreamingResult run_streaming(const ScenarioSpec& spec, const ScenarioRunOptions
 DownloadResult run_download(const ScenarioSpec& spec);
 WebRunResult run_web(const ScenarioSpec& spec);
 
-// One result slot per workload kind; `kind` says which one is live.
+// One result slot per workload kind; `kind` says which one is live. When the
+// spec has a traffic block, `traffic` is live instead and `kind` is unused.
 struct ScenarioOutcome {
   WorkloadKind kind = WorkloadKind::kStream;
   StreamingResult streaming;       // kStream: averaged over workload.runs
   Samples download_completions;    // kDownload: per-run completion seconds
   DownloadResult download;         // kDownload: last run's detail
   WebRunResult web;                // kWeb: merged over workload.runs
+  TrafficResult traffic;           // spec.traffic.enabled: competing-traffic run
 };
 
 // Runs the spec's workload: streaming -> run_streaming_avg(workload.runs),
-// download -> run_download_samples(workload.runs), web -> run_web.
+// download -> run_download_samples(workload.runs), web -> run_web. A spec
+// with a traffic block dispatches to traffic/engine.h instead.
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions& opts = {});
+
+// Renders the outcome exactly as tools/mps_run prints it — shared so the
+// golden-corpus test (tests/golden_test.cpp) locks the CLI's numbers
+// byte-for-byte.
+std::string format_outcome(const ScenarioSpec& spec, const ScenarioOutcome& out);
 
 }  // namespace mps

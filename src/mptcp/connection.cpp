@@ -64,6 +64,10 @@ Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path
 Connection::~Connection() {
   down_mux_.remove_route(config_.conn_id);
   up_mux_.remove_route(config_.conn_id);
+  // Under churn a connection can die with a deferred sendable/deliver post
+  // still queued; those lambdas capture `this` and must not fire.
+  if (sendable_post_pending_) sim_.cancel(sendable_post_id_);
+  if (deliver_post_pending_) sim_.cancel(deliver_post_id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +183,7 @@ void Connection::on_rwnd_update(std::uint64_t rwnd) { rwnd_ = rwnd; }
 void Connection::notify_sendable() {
   if (!on_sendable || sendable_post_pending_ || sndbuf_free() == 0) return;
   sendable_post_pending_ = true;
-  sim_.post([this] {
+  sendable_post_id_ = sim_.post([this] {
     sendable_post_pending_ = false;
     if (on_sendable && sndbuf_free() > 0) on_sendable();
   });
@@ -301,7 +305,7 @@ void Connection::flush_deliveries() {
   pending_deliver_when_ = sim_.now();
   // Deferred so application reactions (next GET, more send()) run outside
   // the packet-processing call stack.
-  sim_.post([this] {
+  deliver_post_id_ = sim_.post([this] {
     deliver_post_pending_ = false;
     const std::uint64_t bytes = pending_deliver_bytes_;
     pending_deliver_bytes_ = 0;

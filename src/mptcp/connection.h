@@ -173,6 +173,7 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   std::uint64_t rwnd_;                  // peer-advertised meta window
   std::uint64_t last_reinjected_seq_ = UINT64_MAX;
   bool sendable_post_pending_ = false;
+  EventId sendable_post_id_ = kInvalidEventId;  // cancelled in the dtor
   bool in_try_send_ = false;
 
   // Receiver state.
@@ -188,6 +189,7 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   std::uint64_t pending_deliver_bytes_ = 0;
   TimePoint pending_deliver_when_;
   bool deliver_post_pending_ = false;
+  EventId deliver_post_id_ = kInvalidEventId;  // cancelled in the dtor
 
   MetaStats meta_stats_;
   Samples ooo_delay_;

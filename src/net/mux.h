@@ -36,14 +36,20 @@ class Mux {
       ++orphans_;
       return;
     }
+    ++routed_;
     it->second(std::move(p));
   }
 
   std::uint64_t orphan_count() const { return orphans_; }
+  // Packets handed to a registered endpoint. Conservation property exploited
+  // by the churn tests: every packet a link delivers is routed or orphaned,
+  // so routed + orphans equals the links' delivered totals.
+  std::uint64_t routed_count() const { return routed_; }
 
  private:
   std::unordered_map<std::uint32_t, Handler> routes_;
   std::uint64_t orphans_ = 0;
+  std::uint64_t routed_ = 0;
 };
 
 }  // namespace mps

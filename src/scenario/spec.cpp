@@ -339,6 +339,55 @@ WorkloadSpec parse_workload(const Json& j, const std::string& path) {
   return w;
 }
 
+TrafficSpec parse_traffic(const Json& j, const std::string& path, std::size_t n_paths) {
+  ObjectReader r(j, path);
+  TrafficSpec t;
+  t.enabled = true;
+  t.flows = r.integer("flows", t.flows);
+  if (t.flows <= 0) spec_error(r.key_path("flows"), "must be > 0");
+  t.arrival_rate_per_s = r.number("arrival_rate_per_s", t.arrival_rate_per_s);
+  if (t.arrival_rate_per_s < 0.0) {
+    spec_error(r.key_path("arrival_rate_per_s"), "must be >= 0");
+  }
+  t.max_arrivals = r.integer("max_arrivals", t.max_arrivals);
+  if (t.max_arrivals < 0) spec_error(r.key_path("max_arrivals"), "must be >= 0");
+  t.flow_bytes = r.integer("flow_bytes", t.flow_bytes);
+  if (t.flow_bytes <= 0) spec_error(r.key_path("flow_bytes"), "must be > 0");
+  t.size_dist = r.str("size_dist", t.size_dist);
+  if (t.size_dist != "fixed" && t.size_dist != "exponential" && t.size_dist != "pareto") {
+    spec_error(r.key_path("size_dist"), "unknown size_dist \"" + t.size_dist +
+               "\" (known: fixed, exponential, pareto)");
+  }
+  t.pareto_alpha = r.number("pareto_alpha", t.pareto_alpha);
+  if (t.pareto_alpha <= 1.0) {
+    spec_error(r.key_path("pareto_alpha"), "must be > 1 (finite mean)");
+  }
+  t.duration_s = r.number("duration_s", t.duration_s);
+  if (t.duration_s <= 0.0) spec_error(r.key_path("duration_s"), "must be > 0");
+
+  if (const Json* c = r.get("cross")) {
+    if (!c->is_array()) spec_error(r.key_path("cross"), "expected an array");
+    for (std::size_t i = 0; i < c->items().size(); ++i) {
+      const std::string cpath = r.key_path("cross") + "[" + std::to_string(i) + "]";
+      ObjectReader cr(c->items()[i], cpath);
+      CrossTrafficSpec x;
+      x.path = cr.integer("path", x.path);
+      if (x.path < 0 || static_cast<std::size_t>(x.path) >= n_paths) {
+        spec_error(cpath + ".path",
+                   "path index out of range (have " + std::to_string(n_paths) + " paths)");
+      }
+      x.flows = cr.integer("flows", x.flows);
+      if (x.flows <= 0) spec_error(cpath + ".flows", "must be > 0");
+      x.start_s = cr.number("start_s", x.start_s);
+      if (x.start_s < 0.0) spec_error(cpath + ".start_s", "must be >= 0");
+      cr.finish();
+      t.cross.push_back(x);
+    }
+  }
+  r.finish();
+  return t;
+}
+
 RecordSpec parse_record(const Json& j, const std::string& path) {
   ObjectReader r(j, path);
   RecordSpec rec;
@@ -374,6 +423,9 @@ ScenarioSpec scenario_from_json(const Json& j) {
   }
   if (const Json* c = r.get("conn")) s.conn = parse_conn(*c, "conn");
   if (const Json* w = r.get("workload")) s.workload = parse_workload(*w, "workload");
+  if (const Json* t = r.get("traffic")) {
+    s.traffic = parse_traffic(*t, "traffic", s.paths.size());
+  }
   const std::int64_t seed = r.integer("seed", static_cast<std::int64_t>(s.seed));
   if (seed < 0) spec_error("seed", "must be >= 0");
   s.seed = static_cast<std::uint64_t>(seed);
@@ -493,6 +545,29 @@ Json scenario_to_json(const ScenarioSpec& s) {
   w.set("bytes", Json::number(s.workload.bytes));
   w.set("runs", Json::number(s.workload.runs));
   j.set("workload", std::move(w));
+
+  if (s.traffic.enabled) {
+    Json t = Json::object();
+    t.set("flows", Json::number(s.traffic.flows));
+    t.set("arrival_rate_per_s", Json::number(s.traffic.arrival_rate_per_s));
+    t.set("max_arrivals", Json::number(s.traffic.max_arrivals));
+    t.set("flow_bytes", Json::number(s.traffic.flow_bytes));
+    t.set("size_dist", Json::string(s.traffic.size_dist));
+    t.set("pareto_alpha", Json::number(s.traffic.pareto_alpha));
+    t.set("duration_s", Json::number(s.traffic.duration_s));
+    if (!s.traffic.cross.empty()) {
+      Json arr = Json::array();
+      for (const CrossTrafficSpec& x : s.traffic.cross) {
+        Json c = Json::object();
+        c.set("path", Json::number(x.path));
+        c.set("flows", Json::number(x.flows));
+        c.set("start_s", Json::number(x.start_s));
+        arr.push_back(std::move(c));
+      }
+      t.set("cross", std::move(arr));
+    }
+    j.set("traffic", std::move(t));
+  }
 
   j.set("seed", Json::number(static_cast<std::int64_t>(s.seed)));
   j.set("trace_seed", Json::number(static_cast<std::int64_t>(s.trace_seed)));

@@ -156,6 +156,35 @@ struct RecordSpec {
   friend bool operator==(const RecordSpec&, const RecordSpec&) = default;
 };
 
+// One group of single-path TCP cross-traffic flows loading a bottleneck
+// (traffic/engine.h). Cross flows are plain bulk senders pinned to a single
+// path; they never complete — their goodput is measured over the run.
+struct CrossTrafficSpec {
+  std::int64_t path = 0;   // index into ScenarioSpec::paths
+  std::int64_t flows = 1;  // concurrent bulk flows on that path
+  double start_s = 0.0;    // when the group starts sending
+
+  friend bool operator==(const CrossTrafficSpec&, const CrossTrafficSpec&) = default;
+};
+
+// Competing-traffic model: N concurrent MPTCP flows over the shared paths,
+// with optional Poisson connection churn and single-path cross traffic.
+// Enabled by the presence of a "traffic" JSON block; when enabled the
+// workload block is ignored and the run is driven by traffic/engine.h.
+struct TrafficSpec {
+  bool enabled = false;
+  std::int64_t flows = 1;            // MPTCP flows present at t = 0
+  double arrival_rate_per_s = 0.0;   // Poisson churn arrivals (0 = no churn)
+  std::int64_t max_arrivals = 1024;  // hard cap on churn arrivals
+  std::int64_t flow_bytes = 256 * 1024;  // size parameter (mean for dists)
+  std::string size_dist = "fixed";   // "fixed" | "exponential" | "pareto"
+  double pareto_alpha = 1.5;         // shape for "pareto" (must be > 1)
+  double duration_s = 10.0;          // run length; churn arrivals stop here
+  std::vector<CrossTrafficSpec> cross;
+
+  friend bool operator==(const TrafficSpec&, const TrafficSpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name;  // free-form label, not used by the builder
   std::vector<PathSpec> paths;  // construction (and RNG fork) order
@@ -163,6 +192,7 @@ struct ScenarioSpec {
   std::string scheduler = "default";  // sched/registry name
   ConnSpec conn;
   WorkloadSpec workload;
+  TrafficSpec traffic;  // competing-traffic block; workload ignored when enabled
   std::uint64_t seed = 1;
   // Master seed for generated bandwidth traces (kRandom/kJitter): one
   // Rng(trace_seed) is forked once per varied path, in path order.

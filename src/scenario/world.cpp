@@ -31,6 +31,18 @@ std::unique_ptr<Connection> World::make_connection(const SchedulerFactory& sched
                                       up_mux_);
 }
 
+std::unique_ptr<Connection> World::make_connection_on(
+    const std::vector<std::size_t>& path_indices, const SchedulerFactory& scheduler) {
+  ConnectionConfig cc = config_.conn;
+  cc.conn_id = next_conn_id_++;
+
+  std::vector<Path*> paths;
+  for (std::size_t idx : path_indices) paths.push_back(paths_[idx].get());
+
+  return std::make_unique<Connection>(sim_, cc, std::move(paths), scheduler(), down_mux_,
+                                      up_mux_);
+}
+
 namespace {
 
 Duration duration_from_ms(double ms) {
@@ -132,7 +144,11 @@ WorldBuilder::WorldBuilder(ScenarioSpec spec) : spec_(std::move(spec)) {
     }
   }
 
-  const Duration total = trace_duration(spec_.workload);
+  // Competing-traffic runs are bounded by the traffic block's duration, not
+  // the (ignored) workload.
+  const Duration total = spec_.traffic.enabled
+                             ? Duration::from_seconds(spec_.traffic.duration_s)
+                             : trace_duration(spec_.workload);
   std::size_t fork_idx = 0;
   for (std::size_t i = 0; i < spec_.paths.size(); ++i) {
     const VariationSpec& v = spec_.paths[i].variation;

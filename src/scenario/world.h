@@ -56,6 +56,12 @@ class World {
   // with path 0 primary and a fresh conn_id.
   std::unique_ptr<Connection> make_connection(const SchedulerFactory& scheduler);
 
+  // Builds a connection restricted to the given paths (one subflow each;
+  // the first index is primary). A single index yields plain single-path
+  // TCP over the existing subflow machinery — used for cross traffic.
+  std::unique_ptr<Connection> make_connection_on(const std::vector<std::size_t>& path_indices,
+                                                 const SchedulerFactory& scheduler);
+
   // One-way latency of a GET from client to server on the primary path.
   Duration request_delay() const { return paths_[0]->rtt_base() / 2; }
 

@@ -1,0 +1,55 @@
+// Fairness and utilization metrics for competing-traffic runs.
+//
+// Jain's fairness index J(x) = (sum x)^2 / (n * sum x^2) for non-negative
+// per-flow allocations x (goodputs here): 1.0 when every flow gets the same
+// share, 1/n when one flow gets everything. Degenerate inputs are defined so
+// harness code never special-cases them: an empty or all-zero allocation is
+// vacuously fair (1.0) — there is no flow being starved relative to another.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace mps {
+
+inline double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: vacuously fair
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+struct FairnessSummary {
+  std::size_t flows = 0;
+  double jain = 1.0;
+  double total = 0.0;  // sum of allocations
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline FairnessSummary fairness_summary(const std::vector<double>& x) {
+  FairnessSummary s;
+  s.flows = x.size();
+  s.jain = jain_index(x);
+  for (double v : x) s.total += v;
+  if (!x.empty()) {
+    s.min = *std::min_element(x.begin(), x.end());
+    s.max = *std::max_element(x.begin(), x.end());
+  }
+  return s;
+}
+
+// Fraction of the aggregate nominal capacity the flows actually carried.
+// Both arguments in the same unit (Mbps here); capacity <= 0 yields 0.
+inline double link_utilization(double total_goodput_mbps, double capacity_mbps) {
+  if (capacity_mbps <= 0.0) return 0.0;
+  return total_goodput_mbps / capacity_mbps;
+}
+
+}  // namespace mps

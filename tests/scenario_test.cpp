@@ -242,6 +242,63 @@ TEST(ScenarioSpecTest, InvalidFaultsNameTheOffendingKey) {
                     "faults");
 }
 
+TEST(ScenarioSpecTest, TrafficBlockRoundTripsFieldExact) {
+  ScenarioSpec s;
+  s.paths = {wifi_path(8.0), lte_path(10.0)};
+  s.scheduler = "ecf";
+  s.traffic.enabled = true;
+  s.traffic.flows = 4;
+  s.traffic.arrival_rate_per_s = 1.5;
+  s.traffic.max_arrivals = 64;
+  s.traffic.flow_bytes = 131072;
+  s.traffic.size_dist = "pareto";
+  s.traffic.pareto_alpha = 2.5;
+  s.traffic.duration_s = 9.5;
+  s.traffic.cross = {CrossTrafficSpec{1, 2, 0.5}, CrossTrafficSpec{0, 1, 0.0}};
+  const ScenarioSpec back = parse_scenario(serialize_scenario(s));
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(serialize_scenario(back), serialize_scenario(s));
+  // A hand-written traffic block parses to the same structure.
+  const ScenarioSpec parsed = parse_scenario(R"({
+    "paths": [{"profile": "wifi", "rate_mbps": 8},
+              {"profile": "lte", "rate_mbps": 10}],
+    "scheduler": "ecf",
+    "traffic": {"flows": 4, "arrival_rate_per_s": 1.5, "max_arrivals": 64,
+                "flow_bytes": 131072, "size_dist": "pareto", "pareto_alpha": 2.5,
+                "duration_s": 9.5,
+                "cross": [{"path": 1, "flows": 2, "start_s": 0.5}, {"path": 0}]}
+  })");
+  EXPECT_EQ(parsed.traffic, s.traffic);
+  // Specs without a traffic block stay traffic-free and serialize without one.
+  const ScenarioSpec plain = parse_scenario(
+      R"({"paths": [{"profile": "wifi", "rate_mbps": 1}]})");
+  EXPECT_FALSE(plain.traffic.enabled);
+  EXPECT_EQ(serialize_scenario(plain).find("traffic"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, InvalidTrafficNamesTheOffendingKey) {
+  const std::string two_paths = R"("paths": [{"profile": "wifi", "rate_mbps": 1},
+                                             {"profile": "lte", "rate_mbps": 1}])";
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"flows": 0}})",
+                    "traffic.flows");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"arrival_rate_per_s": -1}})",
+                    "traffic.arrival_rate_per_s");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"flow_bytes": 0}})",
+                    "traffic.flow_bytes");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"size_dist": "uniform"}})",
+                    "traffic.size_dist");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"pareto_alpha": 1.0}})",
+                    "traffic.pareto_alpha");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"duration_s": 0}})",
+                    "traffic.duration_s");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"cross": [{"path": 2}]}})",
+                    "traffic.cross[0].path");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"cross": [{"flows": 0}]}})",
+                    "traffic.cross[0].flows");
+  expect_spec_error(R"({)" + two_paths + R"(, "traffic": {"burst": true}})",
+                    "traffic.burst");
+}
+
 // --- builder ownership ------------------------------------------------------
 
 ScenarioSpec tiny_stream_spec() {

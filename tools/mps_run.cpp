@@ -23,7 +23,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "exp/ideal.h"
 #include "exp/scenario_run.h"
 #include "obs/recorder.h"
 
@@ -85,41 +84,6 @@ Json parse_override_value(const std::string& text) {
   } catch (const mps::JsonError&) {
     return Json::string(text);  // bare words are strings: --set scheduler=ecf
   }
-}
-
-void print_streaming(const mps::ScenarioSpec& spec, const mps::StreamingParams& p,
-                     const mps::StreamingResult& r) {
-  std::printf("stream %s %.2f/%.2f Mbps (%lld run%s): bitrate %.2f Mbps (ideal %.2f),\n"
-              "  tput %.2f Mbps, fast-path fraction %.2f, lte IW resets %llu,\n"
-              "  rtt wifi/lte %.0f/%.0f ms, ooo p50/p99 %.3f/%.3f s, rebuffer %.1f s\n",
-              spec.scheduler.c_str(), p.wifi_mbps, p.lte_mbps,
-              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
-              r.mean_bitrate_mbps, mps::ideal_bitrate_mbps(p.wifi_mbps, p.lte_mbps),
-              r.mean_throughput_mbps, r.fraction_fast,
-              static_cast<unsigned long long>(r.iw_resets_lte), r.mean_rtt_wifi_ms,
-              r.mean_rtt_lte_ms, r.ooo_delay.quantile(0.5), r.ooo_delay.quantile(0.99),
-              r.rebuffer_time.to_seconds());
-}
-
-void print_download(const mps::ScenarioSpec& spec, const mps::ScenarioOutcome& out) {
-  std::printf("download %s %lld bytes (%lld run%s): mean %.3f s",
-              spec.scheduler.c_str(), static_cast<long long>(spec.workload.bytes),
-              static_cast<long long>(spec.workload.runs), spec.workload.runs == 1 ? "" : "s",
-              out.download_completions.mean());
-  if (spec.workload.runs > 1) {
-    std::printf(" (min %.3f, max %.3f)", out.download_completions.min(),
-                out.download_completions.max());
-  }
-  std::printf(", fast-path fraction %.2f\n", out.download.fraction_fast);
-}
-
-void print_web(const mps::ScenarioSpec& spec, const mps::WebRunResult& r) {
-  std::printf("web %s (%lld run%s): page %.2f s, object mean/p90/p99 %.3f/%.3f/%.3f s, "
-              "ooo p99 %.3f s\n",
-              spec.scheduler.c_str(), static_cast<long long>(spec.workload.runs),
-              spec.workload.runs == 1 ? "" : "s", r.mean_page_load_s, r.object_times.mean(),
-              r.object_times.quantile(0.9), r.object_times.quantile(0.99),
-              r.ooo_delay.quantile(0.99));
 }
 
 }  // namespace
@@ -195,22 +159,14 @@ int main(int argc, char** argv) {
   try {
     ScenarioRunOptions opts;
     FlightRecorder recorder;
-    // The flight recorder is plumbed through the streaming runner only.
-    if (spec.record.summarize && spec.workload.kind == WorkloadKind::kStream) {
+    // The flight recorder is plumbed through the streaming runner and the
+    // traffic engine only.
+    if (spec.record.summarize &&
+        (spec.traffic.enabled || spec.workload.kind == WorkloadKind::kStream)) {
       opts.recorder = &recorder;
     }
     const ScenarioOutcome out = run_scenario(spec, opts);
-    switch (out.kind) {
-      case WorkloadKind::kStream:
-        print_streaming(spec, streaming_params_from_spec(spec, opts), out.streaming);
-        break;
-      case WorkloadKind::kDownload:
-        print_download(spec, out);
-        break;
-      case WorkloadKind::kWeb:
-        print_web(spec, out.web);
-        break;
-    }
+    std::fputs(format_outcome(spec, out).c_str(), stdout);
     if (opts.recorder) {
       std::printf("\n--- flight recorder ---\n");
       std::ostringstream report;
