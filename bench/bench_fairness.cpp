@@ -4,11 +4,31 @@
 // single-path LTE cross flow. Reports Jain's index over the MPTCP flows,
 // aggregate goodput, link utilization, and mean flow completion time for
 // all four schedulers. Deterministic at any MPS_BENCH_JOBS value.
-#include "bench/common.h"
+//
+// --prof-out FILE writes a ProfileReport (exp/prof_report.h) with the
+// sweep's worker telemetry; stdout is byte-identical with or without it.
+#include <chrono>
+#include <fstream>
 
-int main() {
+#include "bench/common.h"
+#include "exp/prof_report.h"
+#include "obs/prof.h"
+
+int main(int argc, char** argv) {
   using namespace mps;
   using namespace mps::bench;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::string prof_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--prof-out" && i + 1 < argc) {
+      prof_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_fairness: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
 
   print_header(std::cout, "bench_fairness",
                "Fairness under 1/4/16/64 competing flows + LTE cross traffic", scale_note());
@@ -20,10 +40,14 @@ int main() {
   const std::int64_t flow_bytes = scale.name == "quick" ? 131072 : 262144;
 
   const std::size_t ns = scheds.size();
-  const auto flat = sweep_map<TrafficResult>(flow_counts.size() * ns, [&](std::size_t i) {
-    const int flows = flow_counts[i / ns];
-    return run_traffic(fairness_cell_spec(scheds[i % ns], flows, duration_s, flow_bytes));
-  });
+  SweepTelemetry sweep_telemetry;
+  const auto flat = sweep_map<TrafficResult>(
+      flow_counts.size() * ns,
+      [&](std::size_t i) {
+        const int flows = flow_counts[i / ns];
+        return run_traffic(fairness_cell_spec(scheds[i % ns], flows, duration_s, flow_bytes));
+      },
+      SweepOptions{}, &sweep_telemetry);
 
   std::vector<std::string> rows;
   for (int f : flow_counts) rows.push_back(std::to_string(f));
@@ -44,5 +68,18 @@ int main() {
 
   std::printf("\nexpected shape: utilization rises with flow count; fairness degrades as\n"
               "churn makes flows heterogeneous; no scheduler starves a flow outright\n");
+
+  if (!prof_out.empty()) {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    ProfileReport report = build_profile_report(prof::snapshot(), wall_s);
+    add_sweep_telemetry(report, sweep_telemetry);
+    std::ofstream pf(prof_out);
+    if (!pf) {
+      std::fprintf(stderr, "bench_fairness: cannot write %s\n", prof_out.c_str());
+      return 1;
+    }
+    pf << profile_report_to_json(report).dump(2) << "\n";
+  }
   return 0;
 }

@@ -10,15 +10,25 @@
 //    (std::function storage, pending-id hash set, lazy tombstone cancel) so
 //    the speedup is measured, not asserted.
 //  * grid: wall-clock for the Fig. 9 reference sweep (6x6 bandwidth grid x
-//    4 schedulers) serially and with MPS_BENCH_JOBS workers (default:
-//    hardware concurrency) through the SweepRunner.
+//    4 schedulers) at jobs = 1, 4, and MPS_BENCH_JOBS (default: hardware
+//    concurrency), deduplicated, in one invocation — each run carries the
+//    SweepRunner's per-worker busy/wait/idle telemetry so the grid speedup
+//    (or its absence) is explained, not just reported.
+//
+// With --prof-out FILE, additionally writes a ProfileReport
+// (exp/prof_report.h) carrying the profiler scope/memory tables (populated
+// under -DMPS_PROF=ON) and the final grid run's worker telemetry.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <unordered_set>
 
 #include "bench/common.h"
+#include "exp/prof_report.h"
+#include "obs/prof.h"
+#include "scenario/json.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -139,7 +149,13 @@ double churn_events_per_sec() {
 
 // ---- reference grid --------------------------------------------------------
 
-double grid_sweep_seconds(int jobs, const CellConfig& cell) {
+struct GridRun {
+  int jobs = 0;
+  double seconds = 0.0;
+  SweepTelemetry telemetry;
+};
+
+GridRun grid_sweep(int jobs, const CellConfig& cell) {
   const auto& grid = paper_bandwidth_grid();
   const auto& scheds = paper_schedulers();
   const std::size_t n = grid.size();
@@ -154,7 +170,27 @@ double grid_sweep_seconds(int jobs, const CellConfig& cell) {
     out[i] = run_streaming_cell(grid[w], grid[l], scheds[s], cell).mean_bitrate_mbps;
   });
   const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
+  GridRun r;
+  r.jobs = jobs;
+  r.seconds = std::chrono::duration<double>(stop - start).count();
+  r.telemetry = runner.telemetry();
+  return r;
+}
+
+Json telemetry_to_json(const SweepTelemetry& t) {
+  Json j = Json::object();
+  j.set("wall_ns", Json::number(static_cast<std::int64_t>(t.wall_ns)));
+  Json per = Json::array();
+  for (const WorkerStats& w : t.workers) {
+    Json e = Json::object();
+    e.set("busy_ns", Json::number(static_cast<std::int64_t>(w.busy_ns)));
+    e.set("wait_ns", Json::number(static_cast<std::int64_t>(w.wait_ns)));
+    e.set("idle_ns", Json::number(static_cast<std::int64_t>(w.idle_ns)));
+    e.set("cells", Json::number(static_cast<std::int64_t>(w.cells)));
+    per.push_back(std::move(e));
+  }
+  j.set("per_worker", per);
+  return j;
 }
 
 }  // namespace
@@ -164,7 +200,17 @@ int main(int argc, char** argv) {
   using namespace mps;
   using namespace mps::bench;
 
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_speed.json";
+  const auto wall_start = std::chrono::steady_clock::now();
+  const char* out_path = "BENCH_speed.json";
+  std::string prof_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--prof-out" && i + 1 < argc) {
+      prof_out = argv[++i];
+    } else {
+      out_path = argv[i];
+    }
+  }
   print_header(std::cout, "bench_speed",
                "perf microbench — kernel events/sec + Fig. 9 grid cells/sec", scale_note());
 
@@ -178,45 +224,86 @@ int main(int argc, char** argv) {
   const CellConfig cell;  // current MPS_BENCH_SCALE, resolved once
   const auto& grid = paper_bandwidth_grid();
   const int cells = static_cast<int>(paper_schedulers().size() * grid.size() * grid.size());
-  const int jobs = sweep_jobs();
-  std::printf("\nFig. 9 reference grid (%d cells):\n", cells);
-  const double serial_s = grid_sweep_seconds(1, cell);
-  std::printf("  serial          %8.2f s  (%.1f cells/s)\n", serial_s, cells / serial_s);
-  const double parallel_s = grid_sweep_seconds(jobs, cell);
-  std::printf("  %2d job(s)       %8.2f s  (%.1f cells/s, %.2fx)\n", jobs, parallel_s,
-              cells / parallel_s, serial_s / parallel_s);
+  const int hw_jobs = sweep_jobs();
 
-  FILE* f = std::fopen(out_path, "w");
-  if (f == nullptr) {
-    std::perror("bench_speed: fopen");
+  // jobs = 1, 4, hw in one invocation (deduplicated, order kept) so the
+  // speedup curve and its worker telemetry land in a single file.
+  std::vector<int> deduped;
+  for (int j : {1, 4, hw_jobs}) {
+    if (std::find(deduped.begin(), deduped.end(), j) == deduped.end()) deduped.push_back(j);
+  }
+
+  std::printf("\nFig. 9 reference grid (%d cells, hw=%d):\n", cells, hw_jobs);
+  std::vector<GridRun> runs;
+  for (int j : deduped) runs.push_back(grid_sweep(j, cell));
+  const double serial_s = runs.front().seconds;
+  for (const GridRun& r : runs) {
+    std::uint64_t busy_ns = 0;
+    for (const WorkerStats& w : r.telemetry.workers) busy_ns += w.busy_ns;
+    const double util = r.telemetry.wall_ns > 0
+                            ? static_cast<double>(busy_ns) /
+                                  (static_cast<double>(r.telemetry.wall_ns) *
+                                   static_cast<double>(r.telemetry.workers.size()))
+                            : 0.0;
+    std::printf("  %2d job(s)       %8.2f s  (%.1f cells/s, %.2fx, worker busy %.0f%%)\n",
+                r.jobs, r.seconds, cells / r.seconds, serial_s / r.seconds, util * 100.0);
+  }
+
+  Json doc = Json::object();
+  doc.set("bench", Json::string("bench_speed"));
+  doc.set("scale", Json::string(bench_scale().name));
+  Json kernel = Json::object();
+  kernel.set("pops", Json::number(static_cast<std::int64_t>(kChurnPops)));
+  kernel.set("live_transmissions", Json::number(static_cast<std::int64_t>(kLiveTransmissions)));
+  kernel.set("live_timers", Json::number(static_cast<std::int64_t>(kLiveTimers)));
+  kernel.set("events_per_sec", Json::number(eps));
+  kernel.set("seed_events_per_sec", Json::number(seed_eps));
+  kernel.set("speedup_vs_seed", Json::number(eps / seed_eps));
+  doc.set("kernel", kernel);
+
+  Json grid_doc = Json::object();
+  grid_doc.set("cells", Json::number(static_cast<std::int64_t>(cells)));
+  grid_doc.set("hw_jobs", Json::number(static_cast<std::int64_t>(hw_jobs)));
+  Json runs_doc = Json::array();
+  for (const GridRun& r : runs) {
+    Json e = Json::object();
+    e.set("jobs", Json::number(static_cast<std::int64_t>(r.jobs)));
+    e.set("seconds", Json::number(r.seconds));
+    e.set("cells_per_sec", Json::number(cells / r.seconds));
+    e.set("speedup_vs_serial", Json::number(serial_s / r.seconds));
+    e.set("workers", telemetry_to_json(r.telemetry));
+    runs_doc.push_back(std::move(e));
+  }
+  grid_doc.set("runs", runs_doc);
+  // Trajectory anchor: serial time and the final (hw-jobs) run's speedup keep
+  // their old names so PR-over-PR comparisons still line up.
+  grid_doc.set("serial_s", Json::number(serial_s));
+  grid_doc.set("parallel_s", Json::number(runs.back().seconds));
+  grid_doc.set("jobs", Json::number(static_cast<std::int64_t>(runs.back().jobs)));
+  grid_doc.set("speedup", Json::number(serial_s / runs.back().seconds));
+  doc.set("grid", grid_doc);
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::perror("bench_speed: open");
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"bench_speed\",\n"
-               "  \"scale\": \"%s\",\n"
-               "  \"kernel\": {\n"
-               "    \"pops\": %llu,\n"
-               "    \"live_transmissions\": %zu,\n"
-               "    \"live_timers\": %zu,\n"
-               "    \"events_per_sec\": %.0f,\n"
-               "    \"seed_events_per_sec\": %.0f,\n"
-               "    \"speedup_vs_seed\": %.3f\n"
-               "  },\n"
-               "  \"grid\": {\n"
-               "    \"cells\": %d,\n"
-               "    \"jobs\": %d,\n"
-               "    \"serial_s\": %.3f,\n"
-               "    \"parallel_s\": %.3f,\n"
-               "    \"cells_per_sec_serial\": %.2f,\n"
-               "    \"cells_per_sec_parallel\": %.2f,\n"
-               "    \"speedup\": %.3f\n"
-               "  }\n"
-               "}\n",
-               bench_scale().name.c_str(), static_cast<unsigned long long>(kChurnPops),
-               kLiveTransmissions, kLiveTimers, eps, seed_eps, eps / seed_eps, cells, jobs,
-               serial_s, parallel_s, cells / serial_s, cells / parallel_s, serial_s / parallel_s);
-  std::fclose(f);
+  f << doc.dump(2) << "\n";
+  f.close();
   std::printf("\nwrote %s\n", out_path);
+
+  if (!prof_out.empty()) {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    ProfileReport report = build_profile_report(prof::snapshot(), wall_s);
+    add_sweep_telemetry(report, runs.back().telemetry);
+    std::ofstream pf(prof_out);
+    if (!pf) {
+      std::perror("bench_speed: open --prof-out");
+      return 1;
+    }
+    pf << profile_report_to_json(report).dump(2) << "\n";
+    std::printf("wrote %s\n", prof_out.c_str());
+  }
   return 0;
 }

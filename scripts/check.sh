@@ -5,9 +5,16 @@
 #   scripts/check.sh --sanitize    # additionally run suite + smoke under ASan+UBSan
 #   scripts/check.sh --tsan        # additionally run the sweep/kernel tests + smoke under TSan
 #   scripts/check.sh --notrace     # additionally prove MPS_TRACE_EVENTS=OFF builds
+#   scripts/check.sh --prof        # additionally run the full suite with -DMPS_PROF=ON
 #   scripts/check.sh --scenarios   # only the scenario smoke (assumes ./build exists)
 #   scripts/check.sh --stress      # only a full seeded stress sweep (assumes ./build)
 #   scripts/check.sh --fairness    # only the fairness smoke (assumes ./build)
+#
+# The default suite always includes a profiling smoke: a -DMPS_PROF=ON build
+# runs its profiler unit tests and the full golden corpus (byte-identical
+# with profiling compiled in), mps_run --prof-out must emit a report that
+# mps_report --check accepts, and attaching --prof-out/--progress must not
+# change mps_run's stdout.
 #
 # The default suite and the sanitizer suite both end with a bounded
 # invariant-checked stress sweep (tools/mps_stress): every fault profile x
@@ -63,6 +70,32 @@ run_fairness_smoke() {
   "$build_dir/tools/mps_run" scenarios/contended_bottleneck.json >/dev/null
 }
 
+# Profiling smoke: prove the observability layer cannot perturb a run. The
+# -DMPS_PROF=ON build must keep the golden corpus byte-identical, mps_run
+# --prof-out must emit a report mps_report --check accepts, and attaching
+# --prof-out/--progress must leave mps_run's stdout unchanged.
+run_prof_smoke() {
+  local build_dir="$1"
+  echo "prof smoke ($build_dir): goldens + mps_run --prof-out + mps_report --check"
+  cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_PROF=ON >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" --target prof_test golden_test mps_run mps_report
+  ctest --test-dir "$build_dir" --output-on-failure -R "Prof|ProfileReport|SweepTelemetry|Determinism|GoldenCorpus"
+  local tmp bare observed
+  tmp="$(mktemp -d)"
+  bare="$("$build_dir/tools/mps_run" scenarios/contended_bottleneck.json)"
+  observed="$("$build_dir/tools/mps_run" scenarios/contended_bottleneck.json \
+    --prof-out "$tmp/prof.json" --progress=0.001 2>/dev/null)"
+  if [[ "$bare" != "$observed" ]]; then
+    echo "mps_run: --prof-out/--progress changed the run output" >&2
+    diff <(printf '%s\n' "$bare") <(printf '%s\n' "$observed") >&2 || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  "$build_dir/tools/mps_report" "$tmp/prof.json" --check
+  "$build_dir/tools/mps_report" "$tmp/prof.json" >/dev/null
+  rm -rf "$tmp"
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -77,6 +110,7 @@ run_stress_sweep() {
 sanitize=0
 tsan=0
 notrace=0
+prof=0
 scenarios_only=0
 stress_only=0
 fairness_only=0
@@ -85,6 +119,7 @@ for arg in "$@"; do
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --notrace) notrace=1 ;;
+    --prof) prof=1 ;;
     --scenarios) scenarios_only=1 ;;
     --stress) stress_only=1 ;;
     --fairness) fairness_only=1 ;;
@@ -114,6 +149,7 @@ run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
 run_stress_sweep build --seeds 2
 run_fairness_smoke build
+run_prof_smoke build-prof
 
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
@@ -131,6 +167,13 @@ fi
 
 if [[ "$notrace" == 1 ]]; then
   run_suite build-notrace "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_TRACE_EVENTS=OFF
+fi
+
+if [[ "$prof" == 1 ]]; then
+  # Full suite with the profiler compiled in (the default run already did the
+  # targeted prof smoke); proves no test depends on MPS_PROF being off.
+  run_suite build-prof "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_PROF=ON
+  run_scenarios_smoke build-prof
 fi
 
 echo "check.sh: all requested suites passed"

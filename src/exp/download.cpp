@@ -22,7 +22,14 @@ DownloadResult run_download(const DownloadParams& params) {
     res.completion = r.completed - r.requested;
     bed.sim().request_stop();
   });
+  if (params.heartbeat.enabled()) {
+    bed.sim().set_heartbeat(params.heartbeat.interval_s, params.heartbeat.fn);
+  }
   bed.sim().run_until(TimePoint::origin() + Duration::seconds(600));
+  if (params.telemetry != nullptr) {
+    params.telemetry->events += bed.sim().events_processed();
+    params.telemetry->sim_s += (bed.sim().now() - TimePoint::origin()).to_seconds();
+  }
 
   const bool lte_fast = params.lte_mbps > params.wifi_mbps;
   const auto& subflows = conn->subflows();

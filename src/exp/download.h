@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -18,6 +19,9 @@ struct DownloadParams {
   std::string scheduler = "default";
   CcKind cc = CcKind::kLia;
   std::uint64_t seed = 1;
+  // Kernel accounting out-param and progress heartbeat (sim/simulator.h).
+  RunTelemetry* telemetry = nullptr;
+  HeartbeatConfig heartbeat;
 };
 
 struct DownloadResult {

@@ -1,0 +1,425 @@
+#include "exp/prof_report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <stdexcept>
+
+namespace mps {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+Json mem_to_json(const ProfileReport::MemEntry& m) {
+  Json j = Json::object();
+  j.set("name", Json::string(m.name));
+  j.set("allocs", Json::number(static_cast<std::int64_t>(m.allocs)));
+  j.set("frees", Json::number(static_cast<std::int64_t>(m.frees)));
+  j.set("bytes_allocated", Json::number(static_cast<std::int64_t>(m.bytes_allocated)));
+  j.set("bytes_freed", Json::number(static_cast<std::int64_t>(m.bytes_freed)));
+  j.set("live_bytes", Json::number(static_cast<std::int64_t>(m.live_bytes)));
+  j.set("high_water_bytes", Json::number(static_cast<std::int64_t>(m.high_water_bytes)));
+  return j;
+}
+
+// --- validating readers -----------------------------------------------------
+
+[[noreturn]] void schema_error(const std::string& where, const std::string& what) {
+  throw std::runtime_error("profile report: " + where + ": " + what);
+}
+
+const Json& need(const Json& j, const std::string& key, const std::string& where) {
+  if (!j.is_object()) schema_error(where, "expected an object");
+  const Json* v = j.find(key);
+  if (v == nullptr) schema_error(where, "missing key \"" + key + "\"");
+  return *v;
+}
+
+double need_num(const Json& j, const std::string& key, const std::string& where) {
+  const Json& v = need(j, key, where);
+  if (!v.is_number()) schema_error(where + "." + key, "expected a number");
+  return v.as_double();
+}
+
+std::uint64_t need_u64(const Json& j, const std::string& key, const std::string& where) {
+  const Json& v = need(j, key, where);
+  if (!v.is_int() || v.as_int() < 0) {
+    schema_error(where + "." + key, "expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v.as_int());
+}
+
+std::string need_str(const Json& j, const std::string& key, const std::string& where) {
+  const Json& v = need(j, key, where);
+  if (!v.is_string()) schema_error(where + "." + key, "expected a string");
+  return v.as_string();
+}
+
+ProfileReport::MemEntry mem_from_json(const Json& j, const std::string& where) {
+  ProfileReport::MemEntry m;
+  m.name = need_str(j, "name", where);
+  m.allocs = need_u64(j, "allocs", where);
+  m.frees = need_u64(j, "frees", where);
+  m.bytes_allocated = need_u64(j, "bytes_allocated", where);
+  m.bytes_freed = need_u64(j, "bytes_freed", where);
+  m.live_bytes = need_u64(j, "live_bytes", where);
+  m.high_water_bytes = need_u64(j, "high_water_bytes", where);
+  return m;
+}
+
+std::string human_bytes(std::uint64_t b) {
+  char buf[64];
+  const double d = static_cast<double>(b);
+  if (b >= 1024ull * 1024 * 1024) std::snprintf(buf, sizeof buf, "%.2f GiB", d / (1024.0 * 1024.0 * 1024.0));
+  else if (b >= 1024ull * 1024) std::snprintf(buf, sizeof buf, "%.2f MiB", d / (1024.0 * 1024.0));
+  else if (b >= 1024ull) std::snprintf(buf, sizeof buf, "%.2f KiB", d / 1024.0);
+  else std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace
+
+ProfileReport build_profile_report(const prof::Snapshot& snap, double wall_s,
+                                   const RunTelemetry* telemetry, std::uint64_t flows) {
+  ProfileReport r;
+  r.profiling_compiled = prof::compiled();
+  r.wall_s = wall_s;
+  if (telemetry != nullptr) {
+    r.events = telemetry->events;
+    r.sim_s = telemetry->sim_s;
+  }
+
+  // Scopes in taxonomy order; accumulate disjoint self time per subsystem.
+  std::vector<std::pair<std::string, double>> subsys;  // insertion-ordered
+  double accounted_s = 0.0;
+  for (std::size_t i = 0; i < prof::kScopeCount; ++i) {
+    const auto scope = static_cast<prof::Scope>(i);
+    const prof::ScopeStats& s = snap.scopes[i];
+    ProfileReport::ScopeEntry e;
+    e.name = prof::scope_name(scope);
+    e.subsystem = prof::scope_subsystem(scope);
+    e.count = s.count;
+    e.total_s = ns_to_s(s.total_ns);
+    e.self_s = ns_to_s(s.self_ns);
+    r.scopes.push_back(e);
+
+    auto it = std::find_if(subsys.begin(), subsys.end(),
+                           [&](const auto& p) { return p.first == e.subsystem; });
+    if (it == subsys.end()) subsys.emplace_back(e.subsystem, e.self_s);
+    else it->second += e.self_s;
+    accounted_s += e.self_s;
+  }
+  for (const auto& [name, self_s] : subsys) {
+    r.subsystems.push_back({name, self_s, wall_s > 0.0 ? self_s / wall_s : 0.0});
+  }
+  const double other_s = wall_s > accounted_s ? wall_s - accounted_s : 0.0;
+  r.subsystems.push_back({"other", other_s, wall_s > 0.0 ? other_s / wall_s : 0.0});
+
+  for (std::size_t i = 0; i < prof::kMemSubsysCount; ++i) {
+    const prof::MemStats& m = snap.memory[i];
+    r.memory.push_back({prof::mem_subsys_name(static_cast<prof::MemSubsys>(i)), m.allocs,
+                        m.frees, m.bytes_allocated, m.bytes_freed, m.live_bytes,
+                        m.high_water_bytes});
+  }
+  const prof::MemStats& t = snap.memory_total;
+  r.memory_total = {"total",       t.allocs,      t.frees, t.bytes_allocated,
+                    t.bytes_freed, t.live_bytes,  t.high_water_bytes};
+
+  r.flows = flows;
+  r.bytes_per_flow =
+      flows > 0 ? static_cast<double>(t.high_water_bytes) / static_cast<double>(flows) : 0.0;
+  return r;
+}
+
+void add_sweep_telemetry(ProfileReport& report, const SweepTelemetry& t) {
+  report.workers = t.workers;
+  report.workers_wall_ns = t.wall_ns;
+  report.jobs = t.jobs;
+}
+
+Json profile_report_to_json(const ProfileReport& report) {
+  Json j = Json::object();
+  j.set("schema", Json::string(ProfileReport::kSchema));
+  j.set("profiling_compiled", Json::boolean(report.profiling_compiled));
+
+  Json run = Json::object();
+  run.set("wall_s", Json::number(report.wall_s));
+  run.set("events", Json::number(static_cast<std::int64_t>(report.events)));
+  run.set("sim_s", Json::number(report.sim_s));
+  j.set("run", run);
+
+  Json scopes = Json::array();
+  for (const auto& s : report.scopes) {
+    Json e = Json::object();
+    e.set("name", Json::string(s.name));
+    e.set("subsystem", Json::string(s.subsystem));
+    e.set("count", Json::number(static_cast<std::int64_t>(s.count)));
+    e.set("total_s", Json::number(s.total_s));
+    e.set("self_s", Json::number(s.self_s));
+    scopes.push_back(std::move(e));
+  }
+  j.set("scopes", scopes);
+
+  Json subsystems = Json::array();
+  for (const auto& s : report.subsystems) {
+    Json e = Json::object();
+    e.set("name", Json::string(s.name));
+    e.set("self_s", Json::number(s.self_s));
+    e.set("share", Json::number(s.share));
+    subsystems.push_back(std::move(e));
+  }
+  j.set("subsystems", subsystems);
+
+  Json memory = Json::object();
+  Json mem_subsys = Json::array();
+  for (const auto& m : report.memory) mem_subsys.push_back(mem_to_json(m));
+  memory.set("subsystems", mem_subsys);
+  memory.set("total", mem_to_json(report.memory_total));
+  memory.set("flows", Json::number(static_cast<std::int64_t>(report.flows)));
+  memory.set("bytes_per_flow", Json::number(report.bytes_per_flow));
+  j.set("memory", memory);
+
+  if (!report.workers.empty()) {
+    Json workers = Json::object();
+    workers.set("jobs", Json::number(static_cast<std::int64_t>(report.jobs)));
+    workers.set("wall_ns", Json::number(static_cast<std::int64_t>(report.workers_wall_ns)));
+    Json per = Json::array();
+    for (const auto& w : report.workers) {
+      Json e = Json::object();
+      e.set("busy_ns", Json::number(static_cast<std::int64_t>(w.busy_ns)));
+      e.set("wait_ns", Json::number(static_cast<std::int64_t>(w.wait_ns)));
+      e.set("idle_ns", Json::number(static_cast<std::int64_t>(w.idle_ns)));
+      e.set("cells", Json::number(static_cast<std::int64_t>(w.cells)));
+      per.push_back(std::move(e));
+    }
+    workers.set("per_worker", per);
+    j.set("workers", workers);
+  }
+  return j;
+}
+
+ProfileReport profile_report_from_json(const Json& j) {
+  const std::string schema = need_str(j, "schema", "root");
+  if (schema != ProfileReport::kSchema) {
+    schema_error("root.schema", "expected \"" + std::string(ProfileReport::kSchema) +
+                                    "\", got \"" + schema + "\"");
+  }
+  ProfileReport r;
+  const Json& compiled = need(j, "profiling_compiled", "root");
+  if (!compiled.is_bool()) schema_error("root.profiling_compiled", "expected a bool");
+  r.profiling_compiled = compiled.as_bool();
+
+  const Json& run = need(j, "run", "root");
+  r.wall_s = need_num(run, "wall_s", "run");
+  r.events = need_u64(run, "events", "run");
+  r.sim_s = need_num(run, "sim_s", "run");
+
+  const Json& scopes = need(j, "scopes", "root");
+  if (!scopes.is_array()) schema_error("root.scopes", "expected an array");
+  for (const Json& e : scopes.items()) {
+    ProfileReport::ScopeEntry s;
+    s.name = need_str(e, "name", "scopes[]");
+    s.subsystem = need_str(e, "subsystem", "scopes[]");
+    s.count = need_u64(e, "count", "scopes[]");
+    s.total_s = need_num(e, "total_s", "scopes[]");
+    s.self_s = need_num(e, "self_s", "scopes[]");
+    r.scopes.push_back(std::move(s));
+  }
+
+  const Json& subsystems = need(j, "subsystems", "root");
+  if (!subsystems.is_array()) schema_error("root.subsystems", "expected an array");
+  for (const Json& e : subsystems.items()) {
+    ProfileReport::SubsystemEntry s;
+    s.name = need_str(e, "name", "subsystems[]");
+    s.self_s = need_num(e, "self_s", "subsystems[]");
+    s.share = need_num(e, "share", "subsystems[]");
+    r.subsystems.push_back(std::move(s));
+  }
+
+  const Json& memory = need(j, "memory", "root");
+  const Json& mem_subsys = need(memory, "subsystems", "memory");
+  if (!mem_subsys.is_array()) schema_error("memory.subsystems", "expected an array");
+  for (const Json& e : mem_subsys.items()) {
+    r.memory.push_back(mem_from_json(e, "memory.subsystems[]"));
+  }
+  r.memory_total = mem_from_json(need(memory, "total", "memory"), "memory.total");
+  r.flows = need_u64(memory, "flows", "memory");
+  r.bytes_per_flow = need_num(memory, "bytes_per_flow", "memory");
+
+  if (const Json* workers = j.find("workers"); workers != nullptr) {
+    const long long jobs = static_cast<long long>(need_u64(*workers, "jobs", "workers"));
+    r.jobs = static_cast<int>(jobs);
+    r.workers_wall_ns = need_u64(*workers, "wall_ns", "workers");
+    const Json& per = need(*workers, "per_worker", "workers");
+    if (!per.is_array()) schema_error("workers.per_worker", "expected an array");
+    for (const Json& e : per.items()) {
+      WorkerStats w;
+      w.busy_ns = need_u64(e, "busy_ns", "workers.per_worker[]");
+      w.wait_ns = need_u64(e, "wait_ns", "workers.per_worker[]");
+      w.idle_ns = need_u64(e, "idle_ns", "workers.per_worker[]");
+      w.cells = need_u64(e, "cells", "workers.per_worker[]");
+      r.workers.push_back(w);
+    }
+  }
+  return r;
+}
+
+std::string render_profile_report(const ProfileReport& report, int top_n) {
+  std::string out;
+  appendf(out, "profile (%s): wall %.3f s", report.profiling_compiled ? "compiled" : "stub",
+          report.wall_s);
+  if (report.events > 0) {
+    appendf(out, ", %llu events", static_cast<unsigned long long>(report.events));
+    if (report.wall_s > 0.0) {
+      appendf(out, " (%.0f events/s)", static_cast<double>(report.events) / report.wall_s);
+    }
+  }
+  if (report.sim_s > 0.0) {
+    appendf(out, ", sim %.1f s", report.sim_s);
+    if (report.wall_s > 0.0) appendf(out, " (sim/wall %.1f)", report.sim_s / report.wall_s);
+  }
+  out += "\n";
+
+  if (!report.subsystems.empty()) {
+    out += "\nsubsystem breakdown (self time):\n";
+    for (const auto& s : report.subsystems) {
+      appendf(out, "  %-10s %9.4f s  %5.1f%%\n", s.name.c_str(), s.self_s, s.share * 100.0);
+    }
+  }
+
+  // Hottest scopes by self time; zero-count scopes never make the list.
+  std::vector<const ProfileReport::ScopeEntry*> hot;
+  for (const auto& s : report.scopes) {
+    if (s.count > 0) hot.push_back(&s);
+  }
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const auto* a, const auto* b) { return a->self_s > b->self_s; });
+  if (top_n >= 0 && hot.size() > static_cast<std::size_t>(top_n)) hot.resize(top_n);
+  if (!hot.empty()) {
+    appendf(out, "\ntop %zu scopes by self time:\n", hot.size());
+    for (const auto* s : hot) {
+      const double per_call_ns =
+          s->count > 0 ? s->self_s * 1e9 / static_cast<double>(s->count) : 0.0;
+      appendf(out, "  %-18s %-9s count %-10llu total %9.4f s  self %9.4f s  (%.0f ns/call)\n",
+              s->name.c_str(), s->subsystem.c_str(),
+              static_cast<unsigned long long>(s->count), s->total_s, s->self_s, per_call_ns);
+    }
+  }
+
+  if (report.memory_total.allocs > 0) {
+    out += "\nmemory (bytes charged to the allocating subsystem):\n";
+    for (const auto& m : report.memory) {
+      if (m.allocs == 0 && m.high_water_bytes == 0) continue;
+      appendf(out, "  %-10s allocs %-10llu live %-12s high-water %s\n", m.name.c_str(),
+              static_cast<unsigned long long>(m.allocs), human_bytes(m.live_bytes).c_str(),
+              human_bytes(m.high_water_bytes).c_str());
+    }
+    appendf(out, "  %-10s allocs %-10llu live %-12s high-water %s\n", "total",
+            static_cast<unsigned long long>(report.memory_total.allocs),
+            human_bytes(report.memory_total.live_bytes).c_str(),
+            human_bytes(report.memory_total.high_water_bytes).c_str());
+    if (report.flows > 0) {
+      appendf(out, "  %llu flows -> %s high-water per flow\n",
+              static_cast<unsigned long long>(report.flows),
+              human_bytes(static_cast<std::uint64_t>(report.bytes_per_flow)).c_str());
+    }
+  }
+
+  if (!report.workers.empty()) {
+    appendf(out, "\nworkers (%d job%s, wall %.3f s):\n", report.jobs,
+            report.jobs == 1 ? "" : "s", ns_to_s(report.workers_wall_ns));
+    const double wall = static_cast<double>(report.workers_wall_ns);
+    for (std::size_t i = 0; i < report.workers.size(); ++i) {
+      const WorkerStats& w = report.workers[i];
+      const double busy = wall > 0.0 ? static_cast<double>(w.busy_ns) / wall * 100.0 : 0.0;
+      const double wait = wall > 0.0 ? static_cast<double>(w.wait_ns) / wall * 100.0 : 0.0;
+      const double idle = wall > 0.0 ? static_cast<double>(w.idle_ns) / wall * 100.0 : 0.0;
+      appendf(out, "  w%-2zu busy %5.1f%%  wait %5.1f%%  idle %5.1f%%  cells %llu\n", i, busy,
+              wait, idle, static_cast<unsigned long long>(w.cells));
+    }
+  }
+  return out;
+}
+
+std::string render_flow_timelines(std::istream& jsonl) {
+  struct FlowLine {
+    double first_t = 0.0;
+    double last_t = 0.0;
+    std::uint64_t events = 0;
+    std::map<std::string, std::uint64_t> types;
+  };
+  std::map<std::int64_t, FlowLine> flows;  // ordered by conn id
+  std::uint64_t bad_lines = 0;
+  std::uint64_t no_conn = 0;
+
+  std::string line;
+  while (std::getline(jsonl, line)) {
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = Json::parse(line);
+    } catch (const JsonError&) {
+      ++bad_lines;
+      continue;
+    }
+    if (!j.is_object()) {
+      ++bad_lines;
+      continue;
+    }
+    const Json* t = j.find("t");
+    const Json* conn = j.find("conn");
+    if (t == nullptr || !t->is_number() || conn == nullptr || !conn->is_int()) {
+      ++no_conn;
+      continue;
+    }
+    FlowLine& f = flows[conn->as_int()];
+    const double ts = t->as_double();
+    if (f.events == 0) f.first_t = ts;
+    f.last_t = ts;
+    ++f.events;
+    if (const Json* ev = j.find("ev"); ev != nullptr && ev->is_string()) {
+      ++f.types[ev->as_string()];
+    }
+  }
+
+  std::string out;
+  appendf(out, "flow timelines (%zu conns):\n", flows.size());
+  for (const auto& [conn, f] : flows) {
+    appendf(out, "  conn %-4lld %9.3f .. %9.3f s  %-8llu events  ",
+            static_cast<long long>(conn), f.first_t, f.last_t,
+            static_cast<unsigned long long>(f.events));
+    // Top three event types, ties broken by name for determinism.
+    std::vector<std::pair<std::string, std::uint64_t>> top(f.types.begin(), f.types.end());
+    std::stable_sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (top.size() > 3) top.resize(3);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      appendf(out, "%s%s:%llu", i == 0 ? "" : " ", top[i].first.c_str(),
+              static_cast<unsigned long long>(top[i].second));
+    }
+    out += "\n";
+  }
+  if (bad_lines > 0) appendf(out, "  (%llu unparseable lines skipped)\n",
+                             static_cast<unsigned long long>(bad_lines));
+  if (no_conn > 0) appendf(out, "  (%llu lines without t/conn skipped)\n",
+                           static_cast<unsigned long long>(no_conn));
+  return out;
+}
+
+}  // namespace mps

@@ -1,0 +1,110 @@
+// ProfileReport: the machine-readable output of a profiled run.
+//
+// obs/prof.h collects raw per-thread counters; this layer (exp/, because it
+// needs the scenario Json type and the sweep telemetry) folds a
+// prof::Snapshot plus run context into a schema-stable JSON document:
+//
+//   { "schema": "mps.profile.v1",
+//     "profiling_compiled": true,
+//     "run":        { wall_s, events, sim_s },
+//     "scopes":     [ {name, subsystem, count, total_s, self_s}, ... ],
+//     "subsystems": [ {name, self_s, share}, ... ],   // + "other"; shares sum ~1
+//     "memory":     { "subsystems": [...], "total": {...},
+//                     "flows": N, "bytes_per_flow": B },
+//     "workers":    { jobs, wall_ns, per_worker: [{busy_ns, wait_ns,
+//                     idle_ns, cells}, ...] } }        // sweeps only
+//
+// Emitted by mps_run --prof-out and the bench drivers; consumed by
+// tools/mps_report. The schema string gates from_json, so downstream
+// tooling fails loudly on a version break instead of misreading fields.
+//
+// Scope "self" seconds are disjoint by construction (a nested instrumented
+// scope's time is subtracted from its parent), so grouping self time by
+// subsystem and adding an "other" bucket (wall minus every scope's self)
+// yields shares that sum to ~1.0 — the per-subsystem breakdown the scaling
+// work steers by.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "obs/prof.h"
+#include "scenario/json.h"
+#include "sim/simulator.h"
+
+namespace mps {
+
+struct ProfileReport {
+  static constexpr const char* kSchema = "mps.profile.v1";
+
+  bool profiling_compiled = false;
+  double wall_s = 0.0;         // caller-measured wall time of the run
+  std::uint64_t events = 0;    // kernel events executed (RunTelemetry)
+  double sim_s = 0.0;          // sim seconds covered (RunTelemetry)
+
+  struct ScopeEntry {
+    std::string name;        // wire name, e.g. "event.dispatch"
+    std::string subsystem;   // grouping, e.g. "sim"
+    std::uint64_t count = 0;
+    double total_s = 0.0;    // inclusive
+    double self_s = 0.0;     // exclusive of nested instrumented scopes
+  };
+  std::vector<ScopeEntry> scopes;  // fixed taxonomy order, zero entries kept
+
+  struct SubsystemEntry {
+    std::string name;
+    double self_s = 0.0;
+    double share = 0.0;  // self_s / wall_s; entries (incl. "other") sum ~1
+  };
+  std::vector<SubsystemEntry> subsystems;
+
+  struct MemEntry {
+    std::string name;
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t bytes_allocated = 0;
+    std::uint64_t bytes_freed = 0;
+    std::uint64_t live_bytes = 0;
+    std::uint64_t high_water_bytes = 0;
+  };
+  std::vector<MemEntry> memory;  // per MemSubsys, taxonomy order
+  MemEntry memory_total;         // process-wide counters ("total")
+
+  std::uint64_t flows = 0;        // flows the run started (0 = not a traffic run)
+  double bytes_per_flow = 0.0;    // total high-water / flows, 0 when flows == 0
+
+  // Sweep-worker telemetry (absent unless add_sweep_telemetry was called).
+  std::vector<WorkerStats> workers;
+  std::uint64_t workers_wall_ns = 0;
+  int jobs = 0;
+};
+
+// Folds a snapshot plus run context into a report. `telemetry` and `flows`
+// are optional context; wall_s is measured by the caller around the run.
+ProfileReport build_profile_report(const prof::Snapshot& snap, double wall_s,
+                                   const RunTelemetry* telemetry = nullptr,
+                                   std::uint64_t flows = 0);
+
+// Attaches a sweep's worker accounting to the report.
+void add_sweep_telemetry(ProfileReport& report, const SweepTelemetry& t);
+
+Json profile_report_to_json(const ProfileReport& report);
+
+// Parses and validates; throws std::runtime_error naming the missing or
+// mistyped key (including on a schema-version mismatch).
+ProfileReport profile_report_from_json(const Json& j);
+
+// Human-readable rendering (tools/mps_report): run header, per-subsystem
+// breakdown, the top_n hottest scopes by self time, memory table, worker
+// utilization. Deterministic for a fixed report (no clocks, no locale).
+std::string render_profile_report(const ProfileReport& report, int top_n = 10);
+
+// Per-flow timeline summaries from a JSONL trace stream (obs/events.h
+// format): first/last event time, event count and a type tally per conn id.
+// Lines that fail to parse are counted and reported, not fatal.
+std::string render_flow_timelines(std::istream& jsonl);
+
+}  // namespace mps

@@ -72,6 +72,8 @@ StreamingParams streaming_params_from_spec(const ScenarioSpec& spec,
   p.seed = spec.seed;
   p.collect_traces = spec.record.collect_traces;
   p.recorder = opts.recorder;
+  p.telemetry = opts.telemetry;
+  p.heartbeat = opts.heartbeat;
   return p;
 }
 
@@ -152,7 +154,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
   ScenarioOutcome out;
   out.kind = spec.workload.kind;
   if (spec.traffic.enabled) {
-    out.traffic = run_traffic(spec, opts.recorder);
+    out.traffic = run_traffic(spec, opts.recorder, opts.telemetry, &opts.heartbeat);
     return out;
   }
   switch (spec.workload.kind) {
@@ -164,6 +166,8 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
       // Mirrors run_download_samples' seed advance (seed+1 before each run)
       // while also keeping the last run's detail.
       DownloadParams p = download_params_from_spec(spec);
+      p.telemetry = opts.telemetry;
+      p.heartbeat = opts.heartbeat;
       for (std::int64_t r = 0; r < spec.workload.runs; ++r) {
         p.seed += 1;
         out.download = run_download(p);
@@ -171,9 +175,13 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioRunOptions&
       }
       break;
     }
-    case WorkloadKind::kWeb:
-      out.web = run_web(web_params_from_spec(spec));
+    case WorkloadKind::kWeb: {
+      WebRunParams p = web_params_from_spec(spec);
+      p.telemetry = opts.telemetry;
+      p.heartbeat = opts.heartbeat;
+      out.web = run_web(p);
       break;
+    }
   }
   return out;
 }

@@ -22,6 +22,11 @@ namespace mps {
 struct ScenarioRunOptions {
   SchedulerFactory scheduler_override;  // streaming only
   FlightRecorder* recorder = nullptr;
+  // Kernel accounting out-param and progress heartbeat (sim/simulator.h);
+  // forwarded to whichever runner the workload dispatches to. Telemetry
+  // accumulates across a workload's repeated runs.
+  RunTelemetry* telemetry = nullptr;
+  HeartbeatConfig heartbeat;
 };
 
 // spec -> runner params. The workload kind must match the function

@@ -91,7 +91,14 @@ StreamingResult run_streaming(const StreamingParams& params) {
 
   session.on_finished = [&bed] { bed.sim().request_stop(); };
   session.start();
+  if (params.heartbeat.enabled()) {
+    bed.sim().set_heartbeat(params.heartbeat.interval_s, params.heartbeat.fn);
+  }
   bed.sim().run_until(TimePoint::origin() + run_cap(params.video));
+  if (params.telemetry != nullptr) {
+    params.telemetry->events += bed.sim().events_processed();
+    params.telemetry->sim_s += (bed.sim().now() - TimePoint::origin()).to_seconds();
+  }
 
   // --- collect --------------------------------------------------------------
   StreamingResult res;

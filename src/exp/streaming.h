@@ -7,6 +7,7 @@
 
 #include "app/dash.h"
 #include "net/varbw.h"
+#include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "trace/series.h"
 #include "util/stats.h"
@@ -39,6 +40,10 @@ struct StreamingParams {
   // instruments/events of the run land there; when unset and collect_traces
   // is on, the runner owns a private recorder for the CWND series.
   FlightRecorder* recorder = nullptr;
+  // Kernel accounting out-param (events/sim-seconds accumulate across runs)
+  // and progress heartbeat; both optional, see sim/simulator.h.
+  RunTelemetry* telemetry = nullptr;
+  HeartbeatConfig heartbeat;
   // Optional time-varying bandwidth (Section 5.3); offsets from t = 0.
   std::vector<RateChange> wifi_trace;
   std::vector<RateChange> lte_trace;

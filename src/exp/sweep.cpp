@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -22,12 +23,38 @@ int sweep_jobs() {
 SweepRunner::SweepRunner(SweepOptions opts)
     : jobs_(opts.jobs > 0 ? opts.jobs : sweep_jobs()) {}
 
-void SweepRunner::run(std::size_t n, const std::function<void(std::size_t)>& cell) const {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+void SweepRunner::run(std::size_t n, const std::function<void(std::size_t)>& cell) {
+  telemetry_ = SweepTelemetry{};
   if (n == 0) return;
   const std::size_t workers =
       std::min(static_cast<std::size_t>(jobs_), n);
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) cell(i);
+    const auto start = Clock::now();
+    WorkerStats ws;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = Clock::now();
+      cell(i);
+      ws.busy_ns += ns_between(t0, Clock::now());
+      ++ws.cells;
+    }
+    telemetry_.wall_ns = ns_between(start, Clock::now());
+    // The serial path still times cells individually, so the gaps between
+    // them (loop overhead, the Clock::now() calls themselves) land in idle.
+    ws.idle_ns = telemetry_.wall_ns - ws.busy_ns - ws.wait_ns;
+    telemetry_.workers.push_back(ws);
+    telemetry_.jobs = 1;
     return;
   }
 
@@ -35,23 +62,60 @@ void SweepRunner::run(std::size_t n, const std::function<void(std::size_t)>& cel
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  auto work = [&] {
+  std::vector<WorkerStats> stats(workers);
+  std::vector<Clock::time_point> done(workers);
+  const auto pool_start = Clock::now();
+
+  auto work = [&](std::size_t w) {
+    WorkerStats& ws = stats[w];
+    auto mark = Clock::now();
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      const auto claimed = Clock::now();
+      ws.wait_ns += ns_between(mark, claimed);
+      if (i >= n) {
+        done[w] = claimed;
+        return;
+      }
       try {
         cell(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      mark = Clock::now();
+      ws.busy_ns += ns_between(claimed, mark);
+      ++ws.cells;
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
   for (auto& t : pool) t.join();
+
+  // Wall spans pool start to the slowest worker; a worker's idle is then the
+  // wall minus its own accounted time, covering both thread-spawn latency
+  // before its loop began and the tail where it waited (joined) on stragglers.
+  auto last_done = pool_start;
+  for (const auto& d : done) last_done = std::max(last_done, d);
+  telemetry_.wall_ns = ns_between(pool_start, last_done);
+  for (auto& ws : stats) {
+    const std::uint64_t accounted = ws.busy_ns + ws.wait_ns;
+    ws.idle_ns = telemetry_.wall_ns > accounted ? telemetry_.wall_ns - accounted : 0;
+    // Clamp so busy+wait+idle == wall holds exactly even if scheduling skew
+    // made one worker's accounted time exceed the measured wall.
+    if (accounted > telemetry_.wall_ns) {
+      telemetry_.wall_ns = accounted;
+    }
+  }
+  // A wall_ns bumped by the clamp above would break earlier workers' sums;
+  // recompute idle against the final wall value.
+  for (auto& ws : stats) {
+    ws.idle_ns = telemetry_.wall_ns - ws.busy_ns - ws.wait_ns;
+  }
+  telemetry_.workers = std::move(stats);
+  telemetry_.jobs = static_cast<int>(workers);
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -26,6 +27,25 @@ struct SweepOptions {
   int jobs = 0;  // 0 = resolve via sweep_jobs()
 };
 
+// Per-worker accounting for one SweepRunner::run. All fields are integer
+// nanoseconds so the conservation law is exact: for every worker,
+//   busy_ns + wait_ns + idle_ns == telemetry.wall_ns
+// busy covers cell bodies, wait covers the work-claim (the fetch_add on the
+// shared counter), and idle is the remainder — time between this worker
+// finishing and the slowest worker (which defines wall_ns) finishing.
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t cells = 0;
+};
+
+struct SweepTelemetry {
+  std::vector<WorkerStats> workers;
+  std::uint64_t wall_ns = 0;  // pool start -> last worker done
+  int jobs = 0;               // resolved worker count actually used
+};
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions opts = {});
@@ -33,22 +53,30 @@ class SweepRunner {
   // Executes cell(0..n-1), blocking until all complete. jobs()==1 (or n<=1)
   // runs inline in index order with no threads. Cells must not touch shared
   // mutable state; the first exception thrown by any cell is rethrown here
-  // after the pool drains.
-  void run(std::size_t n, const std::function<void(std::size_t)>& cell) const;
+  // after the pool drains. Each call replaces telemetry() with this run's
+  // worker accounting (the serial path reports a single all-busy worker).
+  void run(std::size_t n, const std::function<void(std::size_t)>& cell);
 
   int jobs() const { return jobs_; }
 
+  // Worker accounting for the most recent run(); empty before the first.
+  const SweepTelemetry& telemetry() const { return telemetry_; }
+
  private:
   int jobs_;
+  SweepTelemetry telemetry_;
 };
 
 // Convenience: maps cell(i) -> R over [0, n), collecting results by index.
-// R must be default-constructible.
+// R must be default-constructible. Pass `telemetry` to receive the worker
+// accounting of the underlying run.
 template <typename R, typename F>
-std::vector<R> sweep_map(std::size_t n, F&& cell, SweepOptions opts = {}) {
+std::vector<R> sweep_map(std::size_t n, F&& cell, SweepOptions opts = {},
+                         SweepTelemetry* telemetry = nullptr) {
   std::vector<R> out(n);
   SweepRunner runner(opts);
   runner.run(n, [&out, &cell](std::size_t i) { out[i] = cell(i); });
+  if (telemetry != nullptr) *telemetry = runner.telemetry();
   return out;
 }
 

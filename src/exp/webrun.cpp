@@ -33,7 +33,14 @@ WebRunResult run_web(const WebRunParams& params) {
                        [&bed, &factory] { return bed.make_connection(factory); });
     browser.on_finished = [&bed] { bed.sim().request_stop(); };
     browser.start();
+    if (params.heartbeat.enabled()) {
+      bed.sim().set_heartbeat(params.heartbeat.interval_s, params.heartbeat.fn);
+    }
     bed.sim().run_until(TimePoint::origin() + Duration::seconds(3600));
+    if (params.telemetry != nullptr) {
+      params.telemetry->events += bed.sim().events_processed();
+      params.telemetry->sim_s += (bed.sim().now() - TimePoint::origin()).to_seconds();
+    }
 
     res.object_times.merge(browser.object_times());
     res.ooo_delay.merge(browser.ooo_delays());

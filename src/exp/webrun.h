@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/path.h"
+#include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -21,6 +22,9 @@ struct WebRunParams {
   bool use_path_overrides = false;
   PathConfig wifi_override;
   PathConfig lte_override;
+  // Kernel accounting out-param and progress heartbeat (sim/simulator.h).
+  RunTelemetry* telemetry = nullptr;
+  HeartbeatConfig heartbeat;
 };
 
 struct WebRunResult {

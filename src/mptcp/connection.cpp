@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/prof.h"
 #include "obs/recorder.h"
 #include "util/log.h"
 
@@ -108,7 +109,11 @@ void Connection::try_send() {
       try_opportunistic_retransmit();
       break;
     }
-    Subflow* sf = scheduler_->pick(*this);
+    Subflow* sf = nullptr;
+    {
+      MPS_PROF_SCOPE(kSchedDecide);
+      sf = scheduler_->pick(*this);
+    }
     if (sf == nullptr || !sf->can_accept()) break;
     scheduler_->note_scheduled(sf->id());
     const std::uint32_t payload =

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/prof.h"
 #include "obs/recorder.h"
 #include "util/log.h"
 
@@ -35,7 +36,12 @@ void Link::send(Packet pkt) {
                     {"link", name_.c_str()}, {"reason", "random"});
     return;
   }
-  if (fault_ != nullptr && fault_->should_drop(sim_.now(), rng_)) {
+  bool fault_drop = false;
+  if (fault_ != nullptr) {
+    MPS_PROF_SCOPE(kFaultDraw);
+    fault_drop = fault_->should_drop(sim_.now(), rng_);
+  }
+  if (fault_drop) {
     ++stats_.drops_fault;
     obs_.drops_fault.inc();
     MPS_TRACE_EVENT(sim_, EventType::kLinkDrop, pkt.conn_id, pkt.subflow_id,
@@ -96,6 +102,7 @@ void Link::finish_transmission() {
   // delay here, which deliberately breaks that monotonicity (reordering).
   Duration prop = config_.prop_delay;
   if (fault_ != nullptr) {
+    MPS_PROF_SCOPE(kFaultDraw);
     const Duration extra = fault_->extra_delay(sim_.now(), rng_);
     if (extra > Duration::zero()) {
       ++stats_.reordered;

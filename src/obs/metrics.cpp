@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof.h"
+
 namespace mps {
 
 void HistogramData::record(double v) {
@@ -41,6 +43,8 @@ double HistogramData::quantile(double q) const {
 
 Instrument& MetricsRegistry::get_or_create(std::string_view name, InstrumentKind kind,
                                            MetricLabels labels) {
+  MPS_PROF_SCOPE(kMetricsRegister);
+  MPS_PROF_MEM_SCOPE(kObs);
   for (Instrument& inst : instruments_) {
     if (inst.kind == kind && inst.name == name && inst.labels == labels) return inst;
   }

@@ -1,0 +1,346 @@
+#include "obs/prof.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace mps::prof {
+
+namespace {
+
+struct ScopeInfo {
+  const char* name;
+  const char* subsystem;
+};
+
+// Indexed by Scope. Names are the ProfileReport wire schema — append-only.
+constexpr std::array<ScopeInfo, kScopeCount> kScopeInfo = {{
+    {"event.pop", "sim"},
+    {"event.dispatch", "sim"},
+    {"sched.decide", "sched"},
+    {"cc.update", "tcp"},
+    {"fault.draw", "fault"},
+    {"recorder.event", "obs"},
+    {"recorder.decision", "obs"},
+    {"metrics.register", "obs"},
+    {"spec.parse", "scenario"},
+    {"world.build", "scenario"},
+    {"traffic.plan", "traffic"},
+}};
+
+constexpr std::array<const char*, kMemSubsysCount> kMemSubsysNames = {
+    "other", "world", "conn", "events", "obs", "traffic", "spec",
+};
+
+}  // namespace
+
+const char* scope_name(Scope s) { return kScopeInfo[static_cast<std::size_t>(s)].name; }
+const char* scope_subsystem(Scope s) {
+  return kScopeInfo[static_cast<std::size_t>(s)].subsystem;
+}
+const char* mem_subsys_name(MemSubsys s) {
+  return kMemSubsysNames[static_cast<std::size_t>(s)];
+}
+
+#ifdef MPS_PROF
+
+// ---------------------------------------------------------------------------
+// Scoped timers: per-thread accumulators, merged under a registry mutex.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+struct Accumulator {
+  std::array<ScopeStats, kScopeCount> scopes{};
+
+  // Explicit frame stack for self-time: on exit, a frame's elapsed time is
+  // added to its parent's child_ns so the parent's self time excludes it.
+  // Fixed depth: realistic nesting is <= 4 (dispatch -> decide -> recorder);
+  // deeper frames are still timed inclusively but no longer split out.
+  struct Frame {
+    Scope scope;
+    std::uint64_t start_ns;
+    std::uint64_t child_ns;
+  };
+  static constexpr int kMaxDepth = 32;
+  std::array<Frame, kMaxDepth> stack;
+  int depth = 0;
+  int overflow = 0;  // frames ignored because the stack was full
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Accumulator>> threads;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive main's statics
+  return *r;
+}
+
+}  // namespace
+
+Accumulator& thread_accumulator() {
+  thread_local Accumulator* acc = [] {
+    auto owned = std::make_unique<Accumulator>();
+    Accumulator* raw = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.threads.push_back(std::move(owned));
+    return raw;
+  }();
+  return *acc;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void scope_enter(Accumulator& a, Scope s, std::uint64_t t) {
+  if (a.depth >= Accumulator::kMaxDepth) {
+    ++a.overflow;
+    return;
+  }
+  a.stack[a.depth++] = Accumulator::Frame{s, t, 0};
+}
+
+void scope_exit(Accumulator& a, std::uint64_t t) {
+  if (a.overflow > 0) {
+    --a.overflow;
+    return;
+  }
+  const Accumulator::Frame frame = a.stack[--a.depth];
+  const std::uint64_t elapsed = t - frame.start_ns;
+  ScopeStats& st = a.scopes[static_cast<std::size_t>(frame.scope)];
+  ++st.count;
+  st.total_ns += elapsed;
+  st.self_ns += elapsed > frame.child_ns ? elapsed - frame.child_ns : 0;
+  if (a.depth > 0) a.stack[a.depth - 1].child_ns += elapsed;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Memory accounting: global operator new/delete replacement. Every heap
+// allocation carries a 16-byte header recording its size and the subsystem
+// tag the allocating thread held, so the matching delete credits the right
+// subsystem no matter which thread frees.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct alignas(16) AllocHeader {
+  std::uint64_t size;
+  std::uint32_t subsys;
+  std::uint32_t magic;
+};
+static_assert(sizeof(AllocHeader) == 16);
+constexpr std::uint32_t kAllocMagic = 0x4d505331;  // "MPS1"
+
+// Zero-initialized at constant-initialization time: safe to touch from
+// allocations that run before any dynamic initializer.
+struct MemCounters {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  std::atomic<std::uint64_t> bytes_freed{0};
+  std::atomic<std::int64_t> live{0};
+  std::atomic<std::int64_t> high_water{0};
+};
+constinit MemCounters g_mem[kMemSubsysCount];
+constinit MemCounters g_mem_total;
+
+thread_local MemSubsys t_mem_tag = MemSubsys::kOther;
+
+void mem_charge(MemCounters& c, std::uint64_t n) {
+  c.allocs.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_allocated.fetch_add(n, std::memory_order_relaxed);
+  const std::int64_t live =
+      c.live.fetch_add(static_cast<std::int64_t>(n), std::memory_order_relaxed) +
+      static_cast<std::int64_t>(n);
+  std::int64_t hw = c.high_water.load(std::memory_order_relaxed);
+  while (live > hw &&
+         !c.high_water.compare_exchange_weak(hw, live, std::memory_order_relaxed)) {
+  }
+}
+
+void mem_credit(MemCounters& c, std::uint64_t n) {
+  c.frees.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_freed.fetch_add(n, std::memory_order_relaxed);
+  c.live.fetch_sub(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+}
+
+void* prof_alloc(std::size_t n, std::size_t align) {
+  // Returned pointer must keep the caller's alignment; the header occupies
+  // the `pad` bytes just below it. pad is a multiple of `align` (both are
+  // powers of two, pad >= 16 >= sizeof(AllocHeader)).
+  const std::size_t pad = align > sizeof(AllocHeader) ? align : sizeof(AllocHeader);
+  void* raw = align > alignof(std::max_align_t)
+                  ? std::aligned_alloc(align, (pad + n + align - 1) / align * align)
+                  : std::malloc(pad + n);
+  if (raw == nullptr) return nullptr;
+  char* user = static_cast<char*>(raw) + pad;
+  auto* hdr = reinterpret_cast<AllocHeader*>(user - sizeof(AllocHeader));
+  const auto tag = static_cast<std::uint32_t>(t_mem_tag);
+  hdr->size = n;
+  hdr->subsys = tag;
+  hdr->magic = kAllocMagic;
+  mem_charge(g_mem[tag], n);
+  mem_charge(g_mem_total, n);
+  return user;
+}
+
+void prof_free(void* p, std::size_t align) {
+  if (p == nullptr) return;
+  const std::size_t pad = align > sizeof(AllocHeader) ? align : sizeof(AllocHeader);
+  char* user = static_cast<char*>(p);
+  auto* hdr = reinterpret_cast<AllocHeader*>(user - sizeof(AllocHeader));
+  if (hdr->magic != kAllocMagic || hdr->subsys >= kMemSubsysCount) {
+    // Not one of ours (foreign allocator handed across a boundary); pass
+    // through unaccounted rather than corrupting the heap.
+    std::free(p);
+    return;
+  }
+  hdr->magic = 0;
+  mem_credit(g_mem[hdr->subsys], hdr->size);
+  mem_credit(g_mem_total, hdr->size);
+  std::free(user - pad);
+}
+
+MemStats mem_snapshot_of(const MemCounters& c) {
+  MemStats m;
+  m.allocs = c.allocs.load(std::memory_order_relaxed);
+  m.frees = c.frees.load(std::memory_order_relaxed);
+  m.bytes_allocated = c.bytes_allocated.load(std::memory_order_relaxed);
+  m.bytes_freed = c.bytes_freed.load(std::memory_order_relaxed);
+  const std::int64_t live = c.live.load(std::memory_order_relaxed);
+  const std::int64_t hw = c.high_water.load(std::memory_order_relaxed);
+  m.live_bytes = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+  m.high_water_bytes = hw > 0 ? static_cast<std::uint64_t>(hw) : 0;
+  return m;
+}
+
+void mem_reset(MemCounters& c) {
+  c.allocs.store(0, std::memory_order_relaxed);
+  c.frees.store(0, std::memory_order_relaxed);
+  c.bytes_allocated.store(0, std::memory_order_relaxed);
+  c.bytes_freed.store(0, std::memory_order_relaxed);
+  c.live.store(0, std::memory_order_relaxed);
+  c.high_water.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MemSubsys internal::mem_tag_swap(MemSubsys next) {
+  const MemSubsys prev = t_mem_tag;
+  t_mem_tag = next;
+  return prev;
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  snap.threads = r.threads.size();
+  for (const auto& acc : r.threads) {
+    for (std::size_t i = 0; i < kScopeCount; ++i) snap.scopes[i].merge(acc->scopes[i]);
+  }
+  for (std::size_t i = 0; i < kMemSubsysCount; ++i) snap.memory[i] = mem_snapshot_of(g_mem[i]);
+  snap.memory_total = mem_snapshot_of(g_mem_total);
+  return snap;
+}
+
+void reset() {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& acc : r.threads) acc->scopes = {};
+  for (std::size_t i = 0; i < kMemSubsysCount; ++i) mem_reset(g_mem[i]);
+  mem_reset(g_mem_total);
+}
+
+#else  // !MPS_PROF
+
+Snapshot snapshot() { return Snapshot{}; }
+void reset() {}
+
+#endif  // MPS_PROF
+
+}  // namespace mps::prof
+
+// ---------------------------------------------------------------------------
+// Global allocation operators (MPS_PROF builds only). Defined at namespace
+// scope outside mps:: as the standard requires.
+// ---------------------------------------------------------------------------
+#ifdef MPS_PROF
+
+namespace {
+using mps::prof::prof_alloc;  // NOLINT: anonymous-namespace helpers above
+using mps::prof::prof_free;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = prof_alloc(n, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return prof_alloc(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return prof_alloc(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = prof_alloc(n, static_cast<std::size_t>(al));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void* operator new(std::size_t n, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return prof_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return prof_alloc(n, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { prof_free(p, alignof(std::max_align_t)); }
+void operator delete[](void* p) noexcept { prof_free(p, alignof(std::max_align_t)); }
+void operator delete(void* p, std::size_t) noexcept { prof_free(p, alignof(std::max_align_t)); }
+void operator delete[](void* p, std::size_t) noexcept {
+  prof_free(p, alignof(std::max_align_t));
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  prof_free(p, alignof(std::max_align_t));
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  prof_free(p, alignof(std::max_align_t));
+}
+void operator delete(void* p, std::align_val_t al) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+void operator delete[](void* p, std::align_val_t al) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+void operator delete(void* p, std::size_t, std::align_val_t al) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+void operator delete[](void* p, std::size_t, std::align_val_t al) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+void operator delete(void* p, std::align_val_t al, const std::nothrow_t&) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+void operator delete[](void* p, std::align_val_t al, const std::nothrow_t&) noexcept {
+  prof_free(p, static_cast<std::size_t>(al));
+}
+
+#endif  // MPS_PROF

@@ -5,6 +5,7 @@
 namespace mps {
 
 void FlightRecorder::record_decision(TimePoint t, const SchedDecision& d) {
+  MPS_PROF_SCOPE(kRecorderDecision);
   DecisionCounts& c = decision_counts_[{std::string(d.scheduler), d.conn}];
   if (d.kind == SchedDecision::Kind::kPick) {
     ++c.picks;

@@ -30,6 +30,7 @@
 #include "obs/decision.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "util/time.h"
 
 namespace mps {
@@ -50,6 +51,7 @@ class FlightRecorder {
   void record_event(TimePoint t, EventType type, std::int64_t conn, std::int64_t subflow,
                     std::initializer_list<EventField> fields) {
     if (sink_ == nullptr) return;
+    MPS_PROF_SCOPE(kRecorderEvent);
     ++events_recorded_;
     sink_->on_event(t, type, conn, subflow, fields.begin(), fields.size());
   }

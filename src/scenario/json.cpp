@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <system_error>
 
+#include "obs/prof.h"
+
 namespace mps {
 
 const Json* Json::find(const std::string& key) const {
@@ -330,6 +332,10 @@ class Parser {
 
 }  // namespace
 
-Json Json::parse(const std::string& text) { return Parser(text).run(); }
+Json Json::parse(const std::string& text) {
+  MPS_PROF_SCOPE(kSpecParse);
+  MPS_PROF_MEM_SCOPE(kSpec);
+  return Parser(text).run();
+}
 
 }  // namespace mps

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/prof.h"
 #include "sched/registry.h"
 #include "tcp/cc_registry.h"
 
@@ -400,6 +401,8 @@ RecordSpec parse_record(const Json& j, const std::string& path) {
 }  // namespace
 
 ScenarioSpec scenario_from_json(const Json& j) {
+  MPS_PROF_SCOPE(kSpecParse);
+  MPS_PROF_MEM_SCOPE(kSpec);
   ObjectReader r(j, "");
   ScenarioSpec s;
   s.name = r.str("name", "");

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "net/wild.h"
+#include "obs/prof.h"
 #include "obs/recorder.h"
 #include "tcp/cc_registry.h"
 
@@ -19,6 +20,7 @@ World::World(WorldConfig config) : config_(std::move(config)), rng_(config_.seed
 }
 
 std::unique_ptr<Connection> World::make_connection(const SchedulerFactory& scheduler) {
+  MPS_PROF_MEM_SCOPE(kConn);
   ConnectionConfig cc = config_.conn;
   cc.conn_id = next_conn_id_++;
 
@@ -33,6 +35,7 @@ std::unique_ptr<Connection> World::make_connection(const SchedulerFactory& sched
 
 std::unique_ptr<Connection> World::make_connection_on(
     const std::vector<std::size_t>& path_indices, const SchedulerFactory& scheduler) {
+  MPS_PROF_MEM_SCOPE(kConn);
   ConnectionConfig cc = config_.conn;
   cc.conn_id = next_conn_id_++;
 
@@ -204,6 +207,8 @@ WorldConfig WorldBuilder::world_config(FlightRecorder* recorder) const {
 }
 
 std::unique_ptr<World> WorldBuilder::build(FlightRecorder* recorder) {
+  MPS_PROF_SCOPE(kWorldBuild);
+  MPS_PROF_MEM_SCOPE(kWorld);
   recorder_ = recorder;
   if (recorder_ == nullptr && (spec_.record.collect_traces || spec_.record.summarize)) {
     if (owned_recorder_ == nullptr) owned_recorder_ = std::make_unique<FlightRecorder>();

@@ -2,9 +2,12 @@
 
 #include <cassert>
 
+#include "obs/prof.h"
+
 namespace mps {
 
 EventId EventQueue::schedule(TimePoint when, Callback fn) {
+  MPS_PROF_MEM_SCOPE(kEvents);
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/prof.h"
 
 namespace mps {
 
@@ -18,11 +21,21 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   while (!queue_.empty()) {
     const TimePoint next = queue_.next_time();
     if (next > deadline) break;
-    auto fired = queue_.pop();
+    EventQueue::Fired fired;
+    {
+      MPS_PROF_SCOPE(kEventPop);
+      fired = queue_.pop();
+    }
     now_ = fired.when;
-    fired.fn();
+    {
+      MPS_PROF_SCOPE(kEventDispatch);
+      fired.fn();
+    }
     ++processed_;
     ++n;
+    if (heartbeat_ != nullptr && --heartbeat_->countdown == 0) [[unlikely]] {
+      heartbeat_poll();
+    }
     if (stop_requested_) break;
   }
   // The clock advances to the deadline even if the queue drained earlier,
@@ -33,12 +46,54 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  {
+    MPS_PROF_SCOPE(kEventPop);
+    fired = queue_.pop();
+  }
   assert(fired.when >= now_);
   now_ = fired.when;
-  fired.fn();
+  {
+    MPS_PROF_SCOPE(kEventDispatch);
+    fired.fn();
+  }
   ++processed_;
   return true;
+}
+
+void Simulator::set_heartbeat(double interval_s, HeartbeatFn fn) {
+  if (interval_s <= 0.0 || !fn) {
+    heartbeat_.reset();
+    return;
+  }
+  auto hb = std::make_unique<Heartbeat>();
+  hb->interval_s = interval_s;
+  hb->fn = std::move(fn);
+  hb->attach_wall = hb->last_wall = std::chrono::steady_clock::now();
+  hb->last_events = processed_;
+  hb->last_sim = now_;
+  heartbeat_ = std::move(hb);
+}
+
+void Simulator::heartbeat_poll() {
+  Heartbeat& hb = *heartbeat_;
+  hb.countdown = kHeartbeatStride;
+  const auto now_wall = std::chrono::steady_clock::now();
+  const double since_s = std::chrono::duration<double>(now_wall - hb.last_wall).count();
+  if (since_s < hb.interval_s) return;
+
+  HeartbeatStats stats;
+  stats.events = processed_;
+  stats.events_per_sec =
+      since_s > 0.0 ? static_cast<double>(processed_ - hb.last_events) / since_s : 0.0;
+  stats.sim_s = (now_ - TimePoint::origin()).to_seconds();
+  stats.wall_s = std::chrono::duration<double>(now_wall - hb.attach_wall).count();
+  stats.sim_per_wall = since_s > 0.0 ? (now_ - hb.last_sim).to_seconds() / since_s : 0.0;
+
+  hb.last_wall = now_wall;
+  hb.last_events = processed_;
+  hb.last_sim = now_;
+  hb.fn(stats);
 }
 
 }  // namespace mps

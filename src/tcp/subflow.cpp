@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/prof.h"
 #include "obs/recorder.h"
 #include "util/log.h"
 
@@ -267,6 +268,7 @@ void Subflow::process_new_ack(const Packet& ack) {
     // transmit time); an application-limited subflow must not inflate its
     // window.
     if (cwnd_full_at_send_) {
+      MPS_PROF_SCOPE(kCcUpdate);
       for (std::uint32_t i = 0; i < acked_segments; ++i) {
         if (in_slow_start()) {
           set_cwnd(cwnd_ + 1.0);
@@ -393,7 +395,10 @@ void Subflow::arm_rack_timer() {
 void Subflow::enter_fast_recovery() {
   in_recovery_ = true;
   recover_point_ = next_seq_;  // recovery ends once everything sent so far acks
-  cc_->on_loss_event(make_ctx());
+  {
+    MPS_PROF_SCOPE(kCcUpdate);
+    cc_->on_loss_event(make_ctx());
+  }
   MPS_TRACE_EVENT(sim_, EventType::kFastRecovery, config_.conn_id, config_.id,
                   {"cwnd", cwnd_}, {"recover_point", recover_point_});
   ssthresh_ = std::max(cwnd_ * cc_->loss_factor(), config_.min_cwnd);
@@ -454,7 +459,10 @@ void Subflow::on_rto_fire() {
   MPS_TRACE_EVENT(sim_, EventType::kRtoFire, config_.conn_id, config_.id,
                   {"backoff", rto_backoff_}, {"cwnd", cwnd_},
                   {"inflight", static_cast<std::uint64_t>(inflight_.size())});
-  cc_->on_rto(make_ctx());
+  {
+    MPS_PROF_SCOPE(kCcUpdate);
+    cc_->on_rto(make_ctx());
+  }
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
   set_cwnd(config_.min_cwnd);
   in_recovery_ = false;

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "app/http.h"
+#include "obs/prof.h"
 #include "obs/recorder.h"
 #include "sched/registry.h"
 #include "traffic/fairness.h"
@@ -51,6 +52,7 @@ std::uint64_t draw_size(Rng& rng, const TrafficSpec& t) {
 }  // namespace
 
 void TrafficEngine::start_flow(std::size_t idx) {
+  MPS_PROF_MEM_SCOPE(kConn);
   Flow& f = *flows_[idx];
   if (f.rec.cross) {
     f.conn = world_.make_connection_on({static_cast<std::size_t>(f.rec.cross_path)},
@@ -132,43 +134,47 @@ TrafficResult TrafficEngine::run() {
   base_ = world_.sim().now();
 
   // --- plan: every random draw happens here, before any sim event ---------
-  Rng master = world_.rng().fork();
-  Rng arrivals = master.fork();
-
-  struct Plan {
-    bool cross = false;
-    std::int64_t path = -1;
-    double arrival_s = 0.0;
-  };
-  std::vector<Plan> plan;
-  for (std::int64_t i = 0; i < t.flows; ++i) plan.push_back(Plan{false, -1, 0.0});
-
   std::size_t churned = 0;
-  if (t.arrival_rate_per_s > 0.0) {
-    double at = 0.0;
-    while (static_cast<std::int64_t>(churned) < t.max_arrivals) {
-      at += arrivals.exponential(1.0 / t.arrival_rate_per_s);
-      if (at >= t.duration_s) break;
-      plan.push_back(Plan{false, -1, at});
-      ++churned;
-    }
-  }
-  for (const CrossTrafficSpec& x : t.cross) {
-    for (std::int64_t i = 0; i < x.flows; ++i) {
-      plan.push_back(Plan{true, x.path, x.start_s});
-    }
-  }
+  {
+    MPS_PROF_SCOPE(kTrafficPlan);
+    MPS_PROF_MEM_SCOPE(kTraffic);
+    Rng master = world_.rng().fork();
+    Rng arrivals = master.fork();
 
-  flows_.clear();
-  flows_.reserve(plan.size());
-  for (const Plan& p : plan) {
-    auto f = std::make_unique<Flow>();
-    f->rng = master.fork();
-    f->rec.cross = p.cross;
-    f->rec.cross_path = p.path;
-    f->rec.arrival_s = p.arrival_s;
-    if (!p.cross) f->rec.bytes = draw_size(f->rng, t);
-    flows_.push_back(std::move(f));
+    struct Plan {
+      bool cross = false;
+      std::int64_t path = -1;
+      double arrival_s = 0.0;
+    };
+    std::vector<Plan> plan;
+    for (std::int64_t i = 0; i < t.flows; ++i) plan.push_back(Plan{false, -1, 0.0});
+
+    if (t.arrival_rate_per_s > 0.0) {
+      double at = 0.0;
+      while (static_cast<std::int64_t>(churned) < t.max_arrivals) {
+        at += arrivals.exponential(1.0 / t.arrival_rate_per_s);
+        if (at >= t.duration_s) break;
+        plan.push_back(Plan{false, -1, at});
+        ++churned;
+      }
+    }
+    for (const CrossTrafficSpec& x : t.cross) {
+      for (std::int64_t i = 0; i < x.flows; ++i) {
+        plan.push_back(Plan{true, x.path, x.start_s});
+      }
+    }
+
+    flows_.clear();
+    flows_.reserve(plan.size());
+    for (const Plan& p : plan) {
+      auto f = std::make_unique<Flow>();
+      f->rng = master.fork();
+      f->rec.cross = p.cross;
+      f->rec.cross_path = p.path;
+      f->rec.arrival_s = p.arrival_s;
+      if (!p.cross) f->rec.bytes = draw_size(f->rng, t);
+      flows_.push_back(std::move(f));
+    }
   }
 
   // --- schedule and run ----------------------------------------------------
@@ -179,7 +185,16 @@ TrafficResult TrafficEngine::run() {
     world_.sim().at(base_ + Duration::from_seconds(arr), [this, idx] { start_flow(idx); });
   }
   if (on_tick && tick_s > 0.0) schedule_tick(base_ + Duration::from_seconds(tick_s), end);
+  if (heartbeat != nullptr && heartbeat->enabled()) {
+    world_.sim().set_heartbeat(heartbeat->interval_s, heartbeat->fn);
+  }
+  const std::uint64_t events_before = world_.sim().events_processed();
   world_.sim().run_until(end);
+  if (world_.sim().heartbeat_attached()) world_.sim().set_heartbeat(0.0, nullptr);
+  if (telemetry != nullptr) {
+    telemetry->events += world_.sim().events_processed() - events_before;
+    telemetry->sim_s += (world_.sim().now() - base_).to_seconds();
+  }
   ran_ = true;
 
   // --- tear down survivors and aggregate -----------------------------------
@@ -236,10 +251,13 @@ ScenarioSpec fairness_cell_spec(const std::string& scheduler, int flows, double 
   return s;
 }
 
-TrafficResult run_traffic(const ScenarioSpec& spec, FlightRecorder* recorder) {
+TrafficResult run_traffic(const ScenarioSpec& spec, FlightRecorder* recorder,
+                          RunTelemetry* telemetry, const HeartbeatConfig* heartbeat) {
   WorldBuilder builder(spec);
   std::unique_ptr<World> world = builder.build(recorder);
   TrafficEngine engine(*world, builder.spec());
+  engine.telemetry = telemetry;
+  engine.heartbeat = heartbeat;
   return engine.run();
 }
 

@@ -27,6 +27,7 @@
 
 #include "scenario/spec.h"
 #include "scenario/world.h"
+#include "sim/simulator.h"
 #include "util/stats.h"
 
 namespace mps {
@@ -86,6 +87,12 @@ class TrafficEngine {
   double tick_s = 0.0;
   std::function<void()> on_tick;
 
+  // Kernel accounting out-param and progress heartbeat (sim/simulator.h);
+  // both borrowed, both optional. run() attaches the heartbeat for the
+  // duration of the simulation and adds this run's events into telemetry.
+  RunTelemetry* telemetry = nullptr;
+  const HeartbeatConfig* heartbeat = nullptr;
+
   // Plans the flow population, runs the simulation for traffic.duration_s,
   // tears everything down, and reports. Call once.
   TrafficResult run();
@@ -114,8 +121,11 @@ class TrafficEngine {
 };
 
 // Convenience driver: builds the world from the spec (via WorldBuilder) and
-// runs the engine. `recorder` is borrowed and wins over spec.record.
-TrafficResult run_traffic(const ScenarioSpec& spec, FlightRecorder* recorder = nullptr);
+// runs the engine. `recorder` is borrowed and wins over spec.record;
+// `telemetry`/`heartbeat` are forwarded to the engine (both optional).
+TrafficResult run_traffic(const ScenarioSpec& spec, FlightRecorder* recorder = nullptr,
+                          RunTelemetry* telemetry = nullptr,
+                          const HeartbeatConfig* heartbeat = nullptr);
 
 // One bench_fairness grid cell, shared by the bench, the determinism tests,
 // and the stress churn profile: `flows` competing MPTCP flows on the

@@ -1,6 +1,7 @@
 // mps_run — execute a scenario spec file (scenarios/*.json).
 //
 //   mps_run <spec.json> [--set key=value]... [--print-spec]
+//           [--prof-out FILE] [--progress[=SECS]]
 //
 //   --set key=value   Override a field of the JSON document before it is
 //                     parsed into a ScenarioSpec. `key` is a dotted path;
@@ -12,18 +13,30 @@
 //                     booleans, arrays), otherwise taken as a bare string.
 //   --print-spec      Print the effective spec (defaults filled in,
 //                     overrides applied) and exit without running.
+//   --prof-out FILE   Write a ProfileReport (exp/prof_report.h, schema
+//                     mps.profile.v1) for the run. Always valid JSON; the
+//                     scope/memory tables carry data only when the binary
+//                     was built with -DMPS_PROF=ON. Never changes stdout.
+//   --progress[=SECS] Heartbeat to stderr roughly every SECS wall seconds
+//                     (default 1.0) while the simulation runs: events/s,
+//                     sim/wall ratio, flow counts when a recorder is
+//                     attached. Driven purely by the wall clock, so it can
+//                     never perturb the run (see Simulator::set_heartbeat).
 //
 // The run goes through the same spec -> params conversion as the bench
 // drivers (exp/scenario_run.h), so a preset that mirrors a bench cell
 // reproduces that cell's numbers exactly.
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "exp/prof_report.h"
 #include "exp/scenario_run.h"
+#include "obs/prof.h"
 #include "obs/recorder.h"
 
 namespace {
@@ -91,9 +104,12 @@ Json parse_override_value(const std::string& text) {
 int main(int argc, char** argv) {
   using namespace mps;
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   if (argc < 2 || std::string(argv[1]) == "--help") {
     std::fprintf(stderr,
                  "usage: %s <spec.json> [--set key=value]... [--print-spec]\n"
+                 "          [--prof-out FILE] [--progress[=SECS]]\n"
                  "  e.g. %s scenarios/tab02_rtt_cell.json --set scheduler=blest\n",
                  argv[0], argv[0]);
     return 2;
@@ -117,10 +133,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::string prof_out;
+  double progress_s = 0.0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--print-spec") {
       print_spec = true;
+    } else if (arg == "--prof-out" && i + 1 < argc) {
+      prof_out = argv[++i];
+    } else if (arg == "--progress" || arg.rfind("--progress=", 0) == 0) {
+      progress_s = 1.0;
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        try {
+          progress_s = std::stod(arg.substr(eq + 1));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "mps_run: bad --progress interval '%s'\n", arg.c_str());
+          return 2;
+        }
+        if (progress_s <= 0.0) {
+          std::fprintf(stderr, "mps_run: --progress interval must be > 0\n");
+          return 2;
+        }
+      }
     } else if (arg == "--set" && i + 1 < argc) {
       const std::string kv = argv[++i];
       const std::size_t eq = kv.find('=');
@@ -165,6 +199,27 @@ int main(int argc, char** argv) {
         (spec.traffic.enabled || spec.workload.kind == WorkloadKind::kStream)) {
       opts.recorder = &recorder;
     }
+    RunTelemetry telemetry;
+    if (!prof_out.empty()) opts.telemetry = &telemetry;
+    if (progress_s > 0.0) {
+      opts.heartbeat.interval_s = progress_s;
+      FlightRecorder* rec = opts.recorder;
+      opts.heartbeat.fn = [rec](const HeartbeatStats& hb) {
+        std::fprintf(stderr, "progress: sim %.1f s, %llu events, %.0f ev/s, sim/wall %.2f",
+                     hb.sim_s, static_cast<unsigned long long>(hb.events),
+                     hb.events_per_sec, hb.sim_per_wall);
+        if (rec != nullptr) {
+          const std::uint64_t started = rec->metrics().total("traffic.flows_started");
+          const std::uint64_t done = rec->metrics().total("traffic.flows_completed");
+          if (started > 0) {
+            std::fprintf(stderr, ", flows %llu live / %llu done",
+                         static_cast<unsigned long long>(started - done),
+                         static_cast<unsigned long long>(done));
+          }
+        }
+        std::fputc('\n', stderr);
+      };
+    }
     const ScenarioOutcome out = run_scenario(spec, opts);
     std::fputs(format_outcome(spec, out).c_str(), stdout);
     if (opts.recorder) {
@@ -172,6 +227,20 @@ int main(int argc, char** argv) {
       std::ostringstream report;
       recorder.summarize(report);
       std::fputs(report.str().c_str(), stdout);
+    }
+    if (!prof_out.empty()) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+              .count();
+      const std::uint64_t flows = spec.traffic.enabled ? out.traffic.started : 0;
+      ProfileReport report =
+          build_profile_report(prof::snapshot(), wall_s, &telemetry, flows);
+      std::ofstream pf(prof_out);
+      if (!pf) {
+        std::fprintf(stderr, "mps_run: cannot write %s\n", prof_out.c_str());
+        return 1;
+      }
+      pf << profile_report_to_json(report).dump(2) << "\n";
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mps_run: %s\n", e.what());
