@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Scale trajectory: refreshes BENCH_scale.json at the repo root with the
+# world-core scale cells (1k/10k/100k concurrent flows).
+#
+# Two-build flow: events/sec comes from the plain Release build (bench-speed
+# preset), then a -DMPS_PROF=ON build re-runs the cells for memory only and
+# merges resident bytes/flow into the same report (--mem-only), so the
+# timing numbers are never polluted by accounting overhead.
+#
+#   scripts/bench_scale.sh                  # write/update BENCH_scale.json
+#   MPS_SCALE_CELLS=1000 scripts/bench_scale.sh   # override the cell list
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cells="${MPS_SCALE_CELLS:-1000,10000,100000}"
+
+if cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset bench-speed >/dev/null
+  cmake --preset prof >/dev/null
+else
+  cmake -S . -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake -S . -B build-prof -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_PROF=ON >/dev/null
+fi
+cmake --build build-release -j "$(nproc)" --target bench_scale
+cmake --build build-prof -j "$(nproc)" --target bench_scale
+
+./build-release/bench/bench_scale --cells "$cells" --out BENCH_scale.json
+./build-prof/bench/bench_scale --mem-only BENCH_scale.json --out BENCH_scale.json
+echo "bench_scale.sh: BENCH_scale.json updated"

@@ -9,6 +9,7 @@
 #   scripts/check.sh --scenarios   # only the scenario smoke (assumes ./build exists)
 #   scripts/check.sh --stress      # only a full seeded stress sweep (assumes ./build)
 #   scripts/check.sh --fairness    # only the fairness smoke (assumes ./build)
+#   scripts/check.sh --scale       # only the 1k-flow scale smoke (assumes ./build)
 #
 # The default suite always includes a profiling smoke: a -DMPS_PROF=ON build
 # runs its profiler unit tests and the full golden corpus (byte-identical
@@ -96,6 +97,16 @@ run_prof_smoke() {
   rm -rf "$tmp"
 }
 
+# Scale smoke: a 1k-concurrent-flow traffic cell runs end to end with every
+# live connection under the invariant checker (bench_scale --smoke). Guards
+# the arena/ring/timer-wheel scale machinery in every suite it runs in.
+run_scale_smoke() {
+  local build_dir="$1"
+  echo "scale smoke ($build_dir): bench_scale --smoke"
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_scale
+  "$build_dir/bench/bench_scale" --smoke
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -114,6 +125,7 @@ prof=0
 scenarios_only=0
 stress_only=0
 fairness_only=0
+scale_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -123,6 +135,7 @@ for arg in "$@"; do
     --scenarios) scenarios_only=1 ;;
     --stress) stress_only=1 ;;
     --fairness) fairness_only=1 ;;
+    --scale) scale_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -145,16 +158,24 @@ if [[ "$fairness_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$scale_only" == 1 ]]; then
+  run_scale_smoke build
+  echo "check.sh: scale smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
 run_stress_sweep build --seeds 2
 run_fairness_smoke build
+run_scale_smoke build
 run_prof_smoke build-prof
 
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
   run_scenarios_smoke build-sanitize
   run_stress_sweep build-sanitize --seeds 6
+  run_scale_smoke build-sanitize
 fi
 
 if [[ "$tsan" == 1 ]]; then

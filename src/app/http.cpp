@@ -33,9 +33,9 @@ void HttpExchange::get(std::uint64_t bytes, DoneFn done) {
   // marks arrival. Objects are identified positionally: requests arrive in
   // issue order because the delay is constant.
   sim_.after(request_delay_, [this] {
-    for (auto& o : objects_) {
-      if (!o.serving) {
-        o.serving = true;
+    for (std::size_t i = head_; i < objects_.size(); ++i) {
+      if (!objects_[i].serving) {
+        objects_[i].serving = true;
         break;
       }
     }
@@ -44,7 +44,8 @@ void HttpExchange::get(std::uint64_t bytes, DoneFn done) {
 }
 
 void HttpExchange::server_pump() {
-  for (auto& obj : objects_) {
+  for (std::size_t i = head_; i < objects_.size(); ++i) {
+    PendingObject& obj = objects_[i];
     if (!obj.serving) break;  // FIFO responses; GET not at server yet
     if (obj.queued_at_server < obj.bytes) {
       const std::uint64_t accepted = conn_.send(obj.bytes - obj.queued_at_server);
@@ -58,8 +59,8 @@ void HttpExchange::server_pump() {
 void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
   const std::weak_ptr<bool> alive = alive_;
   delivered_total_ += bytes;
-  while (bytes > 0 && !objects_.empty()) {
-    PendingObject& obj = objects_.front();
+  while (bytes > 0 && head_ < objects_.size()) {
+    PendingObject& obj = objects_[head_];
     const std::uint64_t want = obj.bytes - obj.delivered;
     const std::uint64_t take = std::min(bytes, want);
     obj.delivered += take;
@@ -69,7 +70,7 @@ void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
     // Pop before invoking the callback: it may issue the next GET.
     DoneFn done = std::move(obj.done);
     const ObjectResult result = obj.result;
-    objects_.pop_front();
+    pop_front_object();
     if (done) done(result);
     // The callback may have destroyed this exchange (e.g. WebBrowser
     // retiring an expired keepalive connection); nothing left to do then.
@@ -79,9 +80,22 @@ void HttpExchange::on_delivered(std::uint64_t bytes, TimePoint when) {
   server_pump();
 }
 
+void HttpExchange::pop_front_object() {
+  objects_[head_] = PendingObject{};  // release the done callback eagerly
+  ++head_;
+  if (head_ == objects_.size()) {
+    objects_.clear();
+    head_ = 0;
+  } else if (head_ >= 32 && head_ * 2 >= objects_.size()) {
+    objects_.erase(objects_.begin(),
+                   objects_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
 void HttpExchange::on_wire(std::uint32_t subflow_id, TimePoint when) {
-  if (objects_.empty()) return;
-  PendingObject& obj = objects_.front();
+  if (head_ == objects_.size()) return;
+  PendingObject& obj = objects_[head_];
   const auto& subflows = conn_.subflows();
   if (subflow_id >= subflows.size()) return;
   const std::string& path_name = subflows[subflow_id]->path().name();

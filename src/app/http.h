@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mptcp/connection.h"
 #include "sim/simulator.h"
@@ -43,7 +43,7 @@ class HttpExchange {
   // which serializes per connection).
   void get(std::uint64_t bytes, DoneFn done);
 
-  std::size_t outstanding() const { return objects_.size(); }
+  std::size_t outstanding() const { return objects_.size() - head_; }
   Connection& connection() { return conn_; }
 
   // Completion time of everything delivered so far.
@@ -62,11 +62,18 @@ class HttpExchange {
   void server_pump();
   void on_delivered(std::uint64_t bytes, TimePoint when);
   void on_wire(std::uint32_t subflow_id, TimePoint when);
+  void pop_front_object();
 
   Simulator& sim_;
   Connection& conn_;
   Duration request_delay_;
-  std::deque<PendingObject> objects_;
+  // FIFO of pending objects as vector + head index: the common single-object
+  // download costs one small allocation, where a std::deque would eagerly
+  // allocate a 512-byte chunk per connection (measured as the largest
+  // per-flow heap line at 100k flows). Completed prefix is compacted away
+  // once it dominates the vector.
+  std::vector<PendingObject> objects_;
+  std::size_t head_ = 0;  // objects_[head_..) are outstanding
   std::uint64_t delivered_total_ = 0;
   // Liveness sentinel: a completion callback may destroy this exchange
   // (WebBrowser retires the connection from inside `done`), so on_delivered

@@ -147,7 +147,8 @@ void InvariantChecker::check_connection(ConnWatch& w, const char* context, bool 
 
   // --- meta reorder-buffer accounting ---------------------------------------
   {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> held;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& held = held_scratch_;
+    held.clear();
     c.collect_ooo_ranges(held);
     std::uint64_t recount = 0;
     for (const auto& [lo, hi] : held) recount += hi - lo;
@@ -191,12 +192,13 @@ void InvariantChecker::check_connection(ConnWatch& w, const char* context, bool 
     }
 
     std::size_t lost = 0, sacked = 0, both = 0;
-    for (const auto& [seq, seg] : sf.inflight()) {
-      if (seq < sf.snd_una()) {
-        violation("scoreboard", fmt("sf%zu inflight seq %llu below snd_una=%llu (%s)", i,
-                                    (unsigned long long)seq,
-                                    (unsigned long long)sf.snd_una(), context));
-      }
+    if (!sf.inflight().empty() && sf.inflight().lo() < sf.snd_una()) {
+      violation("scoreboard", fmt("sf%zu inflight seq %llu below snd_una=%llu (%s)", i,
+                                  (unsigned long long)sf.inflight().lo(),
+                                  (unsigned long long)sf.snd_una(), context));
+    }
+    for (std::uint64_t seq = sf.inflight().lo(); seq != sf.inflight().hi(); ++seq) {
+      const SentSeg& seg = sf.inflight()[seq];
       if (seg.lost && !seg.retransmitted) ++lost;
       if (seg.sacked) ++sacked;
       if (seg.lost && seg.sacked) ++both;
@@ -269,7 +271,8 @@ void InvariantChecker::check_conservation(const ConnWatch& w, const char* contex
   // (in flight or staged on some subflow) or held in the meta reorder
   // buffer. A gap means bytes were dropped irrecoverably — the transfer can
   // never complete.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges = ranges_scratch_;
+  ranges.clear();
   c.collect_ooo_ranges(ranges);
   for (Subflow* sf : c.subflows()) sf->collect_data_ranges(ranges);
   std::sort(ranges.begin(), ranges.end());

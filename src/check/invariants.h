@@ -109,6 +109,10 @@ class InvariantChecker final : public EventSink {
   bool settled_post_pending_ = false;
 
   std::vector<ConnWatch> watched_;
+  // Scratch buffers reused across checks — these run on every traced event,
+  // so per-call vectors would dominate the ACK-path allocation profile.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> held_scratch_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_scratch_;
   std::vector<Violation> violations_;
   std::uint64_t checks_run_ = 0;
   static constexpr std::size_t kMaxViolations = 100;

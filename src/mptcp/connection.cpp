@@ -22,16 +22,19 @@ Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path
   assert(scheduler_ != nullptr);
 
   scheduler_->bind(sim_, config_.conn_id);
+  obs_ = &detached_instruments();
   if (FlightRecorder* rec = sim_.recorder(); rec != nullptr) {
+    obs_owned_ = std::make_unique<Instruments>();
+    obs_ = obs_owned_.get();
     MetricsRegistry& m = rec->metrics();
     MetricLabels labels;
     labels.conn = static_cast<std::int64_t>(config_.conn_id);
-    obs_.ooo_bytes_total = m.counter("conn.ooo_bytes_total", labels);
-    obs_.reinjections = m.counter("conn.reinjections", labels);
-    obs_.window_stalls = m.counter("conn.window_stalls", labels);
-    obs_.sndbuf_blocked_ns = m.counter("conn.sndbuf_blocked_ns", labels);
-    obs_.meta_ooo_bytes = m.gauge("conn.meta_ooo_bytes", labels);
-    obs_.reorder_segments = m.gauge("conn.reorder_segments", labels);
+    obs_->ooo_bytes_total = m.counter("conn.ooo_bytes_total", labels);
+    obs_->reinjections = m.counter("conn.reinjections", labels);
+    obs_->window_stalls = m.counter("conn.window_stalls", labels);
+    obs_->sndbuf_blocked_ns = m.counter("conn.sndbuf_blocked_ns", labels);
+    obs_->meta_ooo_bytes = m.gauge("conn.meta_ooo_bytes", labels);
+    obs_->reorder_segments = m.gauge("conn.reorder_segments", labels);
   }
 
   subflows_.reserve(paths.size());
@@ -54,12 +57,17 @@ Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path
         sim_, config_.conn_id, sc.id, *paths[i], this));
   }
 
-  down_mux_.add_route(config_.conn_id, [this](Packet p) {
+  down_mux_.add_route(config_.conn_id, [this](const Packet& p) {
     if (p.subflow_id < receivers_.size()) receivers_[p.subflow_id]->on_data_packet(p);
   });
-  up_mux_.add_route(config_.conn_id, [this](Packet p) {
+  up_mux_.add_route(config_.conn_id, [this](const Packet& p) {
     if (p.subflow_id < subflows_.size()) subflows_[p.subflow_id]->on_ack_packet(p);
   });
+}
+
+Connection::Instruments& Connection::detached_instruments() {
+  static Instruments detached;  // all handles unattached: every op is a no-op
+  return detached;
 }
 
 Connection::~Connection() {
@@ -103,7 +111,7 @@ void Connection::try_send() {
   while (send_queue_bytes_ > 0) {
     if (meta_inflight() >= rwnd_) {
       ++meta_stats_.window_stalls;
-      obs_.window_stalls.inc();
+      obs_->window_stalls.inc();
       MPS_TRACE_EVENT(sim_, EventType::kWindowStall, config_.conn_id, -1,
                       {"inflight", meta_inflight()}, {"rwnd", rwnd_});
       try_opportunistic_retransmit();
@@ -163,7 +171,7 @@ void Connection::try_opportunistic_retransmit() {
   carrier->send_segment(oldest.data_seq, oldest.payload, /*reinjection=*/true);
   last_reinjected_seq_ = oldest.data_seq;
   ++meta_stats_.reinjections;
-  obs_.reinjections.inc();
+  obs_->reinjections.inc();
   MPS_TRACE_EVENT(sim_, EventType::kReinjection, config_.conn_id, carrier->id(),
                   {"dseq", oldest.data_seq}, {"len", oldest.payload},
                   {"blocker", static_cast<std::int64_t>(blocker->id())});
@@ -177,7 +185,7 @@ void Connection::on_data_ack(std::uint64_t data_ack) {
   data_una_ = std::min(data_ack, next_data_seq_);
   if (sndbuf_blocked_ && sndbuf_free() > 0) {
     sndbuf_blocked_ = false;
-    obs_.sndbuf_blocked_ns.inc(
+    obs_->sndbuf_blocked_ns.inc(
         static_cast<std::uint64_t>((sim_.now() - sndbuf_blocked_since_).ns()));
   }
   notify_sendable();
@@ -209,8 +217,9 @@ void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
 
 void Connection::collect_ooo_ranges(
     std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
-  for (const auto& [seq, held] : meta_ooo_) {
-    out.emplace_back(seq, seq + held.payload);
+  for (std::size_t i = 0; i < meta_ooo_.size(); ++i) {
+    const auto& e = meta_ooo_.at(i);
+    out.emplace_back(e.key, e.key + e.value.payload);
   }
 }
 
@@ -239,24 +248,24 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
   }
   if (data_seq > rcv_data_next_) {
     // Hold out of order; duplicates of held segments are dropped.
-    auto [it, inserted] = meta_ooo_.try_emplace(data_seq, HeldSeg{payload, wire_arrival});
+    auto [held, inserted] = meta_ooo_.try_emplace(data_seq, HeldSeg{payload, wire_arrival});
     if (inserted) {
       meta_ooo_bytes_ += payload;
-      obs_.ooo_bytes_total.inc(payload);
-      obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
-      obs_.reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
+      obs_->ooo_bytes_total.inc(payload);
+      obs_->meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+      obs_->reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
     } else {
       ++meta_stats_.duplicate_segments;
       // A duplicate that reaches past the held copy carries bytes the held
       // segment does not cover; adopt the longer coverage. Dropping it would
       // strand [held_end, new_end): the subflow has acked the carrier, so no
       // sender copy remains, and the drained hole could never fill.
-      if (payload > it->second.payload) {
-        const std::uint32_t extra = payload - it->second.payload;
-        it->second.payload = payload;
+      if (payload > held->payload) {
+        const std::uint32_t extra = payload - held->payload;
+        held->payload = payload;
         meta_ooo_bytes_ += extra;
-        obs_.ooo_bytes_total.inc(extra);
-        obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+        obs_->ooo_bytes_total.inc(extra);
+        obs_->meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
       }
     }
     return;
@@ -272,24 +281,24 @@ void Connection::on_subflow_deliver(std::uint32_t /*subflow_id*/, std::uint64_t 
 
   // Drain contiguous held segments.
   const bool had_held = !meta_ooo_.empty();
-  auto it = meta_ooo_.begin();
-  while (it != meta_ooo_.end() && it->first <= rcv_data_next_) {
-    const std::uint64_t seg_end = it->first + it->second.payload;
+  while (!meta_ooo_.empty() && meta_ooo_.front_key() <= rcv_data_next_) {
+    const HeldSeg& held = meta_ooo_.front_value();
+    const std::uint64_t seg_end = meta_ooo_.front_key() + held.payload;
     if (seg_end > rcv_data_next_) {
       const std::uint64_t drained = seg_end - rcv_data_next_;
       rcv_data_next_ = seg_end;
       meta_stats_.delivered_bytes += drained;
-      ooo_delay_.add((now - it->second.arrival).to_seconds());
+      ooo_delay_.add((now - held.arrival).to_seconds());
       pending_deliver_bytes_ += drained;
     } else {
       ++meta_stats_.duplicate_segments;
     }
-    meta_ooo_bytes_ -= it->second.payload;
-    it = meta_ooo_.erase(it);
+    meta_ooo_bytes_ -= held.payload;
+    meta_ooo_.pop_front();
   }
   if (had_held) {
-    obs_.meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
-    obs_.reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
+    obs_->meta_ooo_bytes.set(now, static_cast<double>(meta_ooo_bytes_));
+    obs_->reorder_segments.set(now, static_cast<double>(meta_ooo_.size()));
   }
 
   // Dynamic right-sizing: once a full window of in-order data has been

@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -32,6 +31,8 @@
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "tcp/subflow.h"
+#include "traffic/arena.h"
+#include "util/ring.h"
 #include "util/stats.h"
 
 namespace mps {
@@ -72,6 +73,14 @@ struct MetaStats {
 
 class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
  public:
+  // Churned connections recycle fixed-size arena slots instead of hitting
+  // the global heap (traffic/arena.h).
+  static void* operator new(std::size_t size) { return arena_allocate<Connection>(size); }
+  static void operator delete(void* p, std::size_t size) {
+    arena_deallocate<Connection>(p, size);
+  }
+
+
   // `paths` may contain duplicates (several subflows per interface, paper
   // Section 5.2.5); index 0 is the primary subflow. `down_mux`/`up_mux`
   // demultiplex the shared links; the connection registers itself for
@@ -184,7 +193,9 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
     std::uint32_t payload;
     TimePoint arrival;
   };
-  std::map<std::uint64_t, HeldSeg> meta_ooo_;
+  // Sorted flat storage: drained from the bottom as the cumulative point
+  // advances, inserted mostly near the top as new data arrives out of order.
+  FlatSeqMap<HeldSeg> meta_ooo_;
   std::uint64_t meta_ooo_bytes_ = 0;
   std::uint64_t pending_deliver_bytes_ = 0;
   TimePoint pending_deliver_when_;
@@ -195,12 +206,16 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   Samples ooo_delay_;
 
   // Flight-recorder instruments (no-ops unless a recorder was attached to
-  // the Simulator before construction).
+  // the Simulator before construction). Pointer to a per-connection block
+  // when recording, else to one shared static detached block — same scheme
+  // as Subflow::Instruments, for the same per-flow footprint reason.
   struct Instruments {
     Counter ooo_bytes_total, reinjections, window_stalls, sndbuf_blocked_ns;
     Gauge meta_ooo_bytes, reorder_segments;
   };
-  Instruments obs_;
+  static Instruments& detached_instruments();
+  std::unique_ptr<Instruments> obs_owned_;  // populated only when recording
+  Instruments* obs_ = nullptr;
   // Time the send buffer has been full with the application wanting to send
   // more (conn.sndbuf_blocked_ns) — the paper's "server is sndbuf-limited".
   bool sndbuf_blocked_ = false;

@@ -109,8 +109,13 @@ void Link::finish_transmission() {
       prop += extra;
     }
   }
-  sim_.after(prop, [this, delivered]() mutable {
-    if (deliver_) deliver_(delivered);
+  // Pooled propagation: the closure captures {this, slot} and stays inside
+  // Callback's inline buffer — no per-packet allocation (see packet_pool.h).
+  Packet* slot = prop_pool_.acquire();
+  *slot = delivered;
+  sim_.after(prop, [this, slot] {
+    if (deliver_) deliver_(*slot);
+    prop_pool_.release(slot);
   });
 }
 

@@ -9,16 +9,17 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "fault/fault.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "obs/metrics.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "util/rate.h"
+#include "util/ring.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -45,7 +46,10 @@ struct LinkStats {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  // SBO move-only callback: installing a handler whose captures fit 48 bytes
+  // means per-packet delivery does no type-erased heap allocation (the old
+  // std::function signature allocated on every assignment above 16 bytes).
+  using DeliverFn = BasicCallback<void(const Packet&)>;
 
   Link(Simulator& sim, LinkConfig config, std::string name = "link");
 
@@ -92,10 +96,12 @@ class Link {
   Rng rng_{0xabcdef12345678ULL};
   std::unique_ptr<FaultModel> fault_;
 
-  std::deque<Packet> queue_;
+  RingDeque<Packet> queue_;
   bool busy_ = false;
   Packet in_service_;
   Timer tx_timer_;
+  // Packets in their propagation stage; slots recycle as deliveries fire.
+  PacketPool prop_pool_;
   LinkStats stats_;
 
   // Flight-recorder instruments, labelled entity=name_ (no-ops unless a

@@ -17,11 +17,14 @@ namespace mps {
 
 class Mux {
  public:
-  using Handler = std::function<void(Packet)>;
+  // Handlers take the packet by const reference: the mux borrows each packet
+  // from the link's propagation pool, so dispatch moves no packet bytes and
+  // the only handler allocation happens once at route-registration time.
+  using Handler = std::function<void(const Packet&)>;
 
   // Installs this mux as the link's deliver function.
   void attach_to(Link& link) {
-    link.set_deliver([this](Packet p) { dispatch(std::move(p)); });
+    link.set_deliver([this](const Packet& p) { dispatch(p); });
   }
 
   void add_route(std::uint32_t conn_id, Handler handler) {
@@ -30,14 +33,14 @@ class Mux {
 
   void remove_route(std::uint32_t conn_id) { routes_.erase(conn_id); }
 
-  void dispatch(Packet p) {
+  void dispatch(const Packet& p) {
     const auto it = routes_.find(p.conn_id);
     if (it == routes_.end()) {
       ++orphans_;
       return;
     }
     ++routed_;
-    it->second(std::move(p));
+    it->second(p);
   }
 
   std::uint64_t orphan_count() const { return orphans_; }

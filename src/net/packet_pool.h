@@ -1,0 +1,49 @@
+// Free-list pool of Packet buffers for in-propagation packets.
+//
+// A link's propagation stage used to capture each ~200-byte Packet by value
+// inside the delivery closure, which overflows Callback's inline buffer and
+// heap-allocated on every single delivery. The pool hands out stable Packet
+// slots from chunked storage instead: the closure captures only {link,
+// Packet*} (16 bytes, always inline) and the slot returns to the free list
+// as soon as the delivery fires. Chunks are never freed, so a link's pool
+// high-water tracks its maximum packets simultaneously in propagation
+// (roughly bandwidth-delay product / packet size), not its traffic volume.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace mps {
+
+class PacketPool {
+ public:
+  Packet* acquire() {
+    if (free_.empty()) grow();
+    Packet* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void release(Packet* p) { free_.push_back(p); }
+
+  // Total slots ever created (diagnostics; equals the in-propagation
+  // high-water rounded up to a chunk).
+  std::size_t capacity() const { return chunks_.size() * kChunkPackets; }
+
+ private:
+  static constexpr std::size_t kChunkPackets = 32;
+
+  void grow() {
+    chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
+    Packet* base = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunkPackets; ++i) free_.push_back(base + i);
+  }
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<Packet*> free_;
+};
+
+}  // namespace mps

@@ -13,11 +13,8 @@ void DapsScheduler::rebuild_plan(Connection& conn) {
   plan_.clear();
   pos_ = 0;
 
-  struct Slot {
-    double departure;  // expected departure offset within the period
-    std::uint32_t subflow_id;
-  };
-  std::vector<Slot> slots;
+  std::vector<Slot>& slots = slots_scratch_;
+  slots.clear();
 
   double rtt_max = 0.0;
   for (Subflow* sf : conn.subflows()) {

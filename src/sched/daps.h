@@ -35,10 +35,16 @@ class DapsScheduler final : public Scheduler {
   std::size_t plan_remaining() const { return plan_.size() - pos_; }
 
  private:
+  struct Slot {
+    double departure;  // expected departure offset within the period
+    std::uint32_t subflow_id;
+  };
+
   void rebuild_plan(Connection& conn);
 
   std::vector<std::uint32_t> plan_;  // subflow ids in planned departure order
   std::size_t pos_ = 0;
+  std::vector<Slot> slots_scratch_;  // reused across plan rebuilds
 };
 
 }  // namespace mps

@@ -1,11 +1,16 @@
-// Small-buffer-optimized callback storage for the event kernel.
+// Small-buffer-optimized callback storage for the event kernel and the
+// per-packet delivery seams.
 //
 // The event loop's dominant churn is scheduling closures that capture one or
 // two pointers (every link transmission, every RTO restart). std::function
 // heap-allocates once captures outgrow its tiny internal buffer (16 bytes on
-// libstdc++) and requires copyability; Callback instead keeps up to
-// kInlineBytes of capture state inline in the queue's slot arena, accepts
-// move-only callables, and only falls back to the heap for oversized ones.
+// libstdc++) and requires copyability; BasicCallback instead keeps up to
+// kInlineBytes of capture state inline, accepts move-only callables, and
+// only falls back to the heap for oversized ones. The signature is a
+// template parameter so the same storage serves the event queue
+// (Callback = void()) and the per-packet link delivery hook
+// (Link::DeliverFn = void(const Packet&)) without a type-erasure allocation
+// on either path.
 #pragma once
 
 #include <cstddef>
@@ -15,20 +20,27 @@
 
 namespace mps {
 
-class Callback {
- public:
-  // Inline capacity. Sized so a captured std::function (32 bytes on
-  // libstdc++) plus a pointer still fits; every closure the stack schedules
-  // today is at most that big.
-  static constexpr std::size_t kInlineBytes = 48;
+// InlineBytes is the inline capture capacity. The default (48) is sized so a
+// captured std::function (32 bytes on libstdc++) plus a pointer still fits;
+// the event kernel's Callback alias narrows it to 24 because its closures
+// capture at most a pointer and two 8-byte scalars, and the queue stores one
+// callback per pending event — at 100k flows the slot array is a measurable
+// share of resident memory.
+template <typename Signature, std::size_t InlineBytes = 48>
+class BasicCallback;
 
-  Callback() noexcept = default;
+template <typename R, typename... Args, std::size_t InlineBytes>
+class BasicCallback<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  BasicCallback() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, Callback> &&
-                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+                !std::is_same_v<std::remove_cvref_t<F>, BasicCallback> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  BasicCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
     using Fn = std::remove_cvref_t<F>;
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
@@ -39,9 +51,9 @@ class Callback {
     }
   }
 
-  Callback(Callback&& other) noexcept { move_from(other); }
+  BasicCallback(BasicCallback&& other) noexcept { move_from(other); }
 
-  Callback& operator=(Callback&& other) noexcept {
+  BasicCallback& operator=(BasicCallback&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -49,12 +61,14 @@ class Callback {
     return *this;
   }
 
-  Callback(const Callback&) = delete;
-  Callback& operator=(const Callback&) = delete;
+  BasicCallback(const BasicCallback&) = delete;
+  BasicCallback& operator=(const BasicCallback&) = delete;
 
-  ~Callback() { reset(); }
+  ~BasicCallback() { reset(); }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
@@ -67,7 +81,7 @@ class Callback {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args... args);
     // Move-constructs dst from src and destroys src's residue.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* storage) noexcept;
@@ -81,7 +95,9 @@ class Callback {
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
-      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* s, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         Fn* from = std::launder(reinterpret_cast<Fn*>(src));
         ::new (dst) Fn(std::move(*from));
@@ -92,14 +108,16 @@ class Callback {
 
   template <typename Fn>
   static constexpr Ops kHeapOps = {
-      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* s, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
       },
       [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
   };
 
-  void move_from(Callback& other) noexcept {
+  void move_from(BasicCallback& other) noexcept {
     if (other.ops_ != nullptr) {
       other.ops_->relocate(buf_, other.buf_);
       ops_ = other.ops_;
@@ -110,5 +128,12 @@ class Callback {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+// The event kernel's closure type; kept as the short name because it is by
+// far the most common instantiation. 24 inline bytes cover every closure the
+// kernel schedules today ([this] timers, {this, slot} link deliveries, the
+// engine's [this, at, end] tick); anything bigger spills to the heap rather
+// than failing, so the bound is a size/perf knob, not a correctness limit.
+using Callback = BasicCallback<void(), 24>;
 
 }  // namespace mps

@@ -22,22 +22,30 @@ Subflow::Subflow(Simulator& sim, SubflowConfig config, Path& path,
       rack_timer_(sim),
       established_at_(sim.now() + config.join_delay) {
   assert(cc_ != nullptr);
+  obs_ = &detached_instruments();
   if (FlightRecorder* rec = sim.recorder()) {
+    obs_owned_ = std::make_unique<Instruments>();
+    obs_ = obs_owned_.get();
     MetricsRegistry& m = rec->metrics();
     const MetricLabels l{static_cast<std::int64_t>(config_.conn_id),
                          static_cast<std::int64_t>(config_.id), {}};
-    obs_.segments_sent = m.counter("subflow.segments_sent", l);
-    obs_.retransmits = m.counter("subflow.retransmits", l);
-    obs_.fast_recoveries = m.counter("subflow.fast_recoveries", l);
-    obs_.rtos = m.counter("subflow.rtos", l);
-    obs_.idle_resets = m.counter("subflow.idle_cwnd_resets", l);
-    obs_.penalizations = m.counter("subflow.penalizations", l);
-    obs_.reinjections_carried = m.counter("subflow.reinjections_carried", l);
-    obs_.cwnd = m.gauge("subflow.cwnd", l);
-    obs_.srtt_ms = m.gauge("subflow.srtt_ms", l);
-    obs_.rtt_sample_ms = m.histogram("subflow.rtt_sample_ms", l);
-    obs_.cwnd.set(sim_.now(), cwnd_);
+    obs_->segments_sent = m.counter("subflow.segments_sent", l);
+    obs_->retransmits = m.counter("subflow.retransmits", l);
+    obs_->fast_recoveries = m.counter("subflow.fast_recoveries", l);
+    obs_->rtos = m.counter("subflow.rtos", l);
+    obs_->idle_resets = m.counter("subflow.idle_cwnd_resets", l);
+    obs_->penalizations = m.counter("subflow.penalizations", l);
+    obs_->reinjections_carried = m.counter("subflow.reinjections_carried", l);
+    obs_->cwnd = m.gauge("subflow.cwnd", l);
+    obs_->srtt_ms = m.gauge("subflow.srtt_ms", l);
+    obs_->rtt_sample_ms = m.histogram("subflow.rtt_sample_ms", l);
+    obs_->cwnd.set(sim_.now(), cwnd_);
   }
+}
+
+Subflow::Instruments& Subflow::detached_instruments() {
+  static Instruments detached;  // all handles unattached: every op is a no-op
+  return detached;
 }
 
 CongestionController::AckContext Subflow::make_ctx() const {
@@ -56,7 +64,7 @@ void Subflow::set_cwnd(double cwnd) {
   cwnd = std::max(cwnd, config_.min_cwnd);
   if (cwnd == cwnd_) return;
   cwnd_ = cwnd;
-  obs_.cwnd.set(sim_.now(), cwnd_);
+  obs_->cwnd.set(sim_.now(), cwnd_);
   if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
 }
 
@@ -77,7 +85,7 @@ void Subflow::maybe_idle_reset() {
   if (cwnd_ > config_.initial_cwnd) {
     ++stats_.iw_resets;
     ++stats_.idle_resets;
-    obs_.idle_resets.inc();
+    obs_->idle_resets.inc();
     MPS_TRACE_EVENT(sim_, EventType::kIdleReset, config_.conn_id, config_.id,
                     {"old_cwnd", cwnd_}, {"idle_s", idle.to_seconds()});
     // RFC 2861 congestion window validation, as in Linux
@@ -135,18 +143,19 @@ void Subflow::send_segment(std::uint64_t data_seq, std::uint32_t payload, bool r
   pkt.ts_val = sim_.now();
   pkt.transmit_seq = transmit_counter_++;
 
-  inflight_.emplace(pkt.subflow_seq, SentSeg{data_seq, payload, sim_.now(), false, false});
+  assert(pkt.subflow_seq == inflight_.hi());  // dense scoreboard: new seqs only at the top
+  inflight_.push_back(SentSeg{data_seq, sim_.now(), payload, false, false, false});
   if (static_cast<double>(pipe()) >= cwnd_ - 1.0) cwnd_full_at_send_ = true;
   path_.down().send(pkt);
 
   last_send_time_ = sim_.now();
   if (reinjection) {
     ++stats_.reinjected_segments;
-    obs_.reinjections_carried.inc();
+    obs_->reinjections_carried.inc();
   } else {
     ++stats_.segments_sent;
     stats_.bytes_sent += payload;
-    obs_.segments_sent.inc();
+    obs_->segments_sent.inc();
   }
   MPS_TRACE_EVENT(sim_, EventType::kPktSend, config_.conn_id, config_.id,
                   {"seq", pkt.subflow_seq}, {"dseq", data_seq}, {"len", payload},
@@ -156,17 +165,19 @@ void Subflow::send_segment(std::uint64_t data_seq, std::uint32_t payload, bool r
 
 void Subflow::collect_data_ranges(
     std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
-  for (const auto& [seq, seg] : inflight_) {
+  for (std::uint64_t seq = inflight_.lo(); seq != inflight_.hi(); ++seq) {
+    const SentSeg& seg = inflight_[seq];
     out.emplace_back(seg.data_seq, seg.data_seq + seg.payload);
   }
-  for (const StagedSeg& seg : staged_) {
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const StagedSeg& seg = staged_.at(i);
     out.emplace_back(seg.data_seq, seg.data_seq + seg.payload);
   }
 }
 
 SegmentRef Subflow::oldest_unacked() const {
   assert(!inflight_.empty());
-  const SentSeg& s = inflight_.begin()->second;
+  const SentSeg& s = inflight_.front();
   return SegmentRef{s.data_seq, s.payload};
 }
 
@@ -177,7 +188,7 @@ void Subflow::penalize() {
   if (!last_penalty_.is_never() && now - last_penalty_ < rtt_estimate()) return;
   last_penalty_ = now;
   ++stats_.penalizations;
-  obs_.penalizations.inc();
+  obs_->penalizations.inc();
   MPS_TRACE_EVENT(sim_, EventType::kPenalize, config_.conn_id, config_.id,
                   {"cwnd", cwnd_});
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
@@ -219,8 +230,8 @@ void Subflow::on_ack_packet(const Packet& ack) {
 void Subflow::process_new_ack(const Packet& ack) {
   std::uint32_t acked_segments = 0;
   std::uint64_t acked_bytes = 0;
-  while (!inflight_.empty() && inflight_.begin()->first < ack.ack_seq) {
-    const SentSeg& seg = inflight_.begin()->second;
+  while (!inflight_.empty() && inflight_.lo() < ack.ack_seq) {
+    const SentSeg& seg = inflight_.front();
     if (seg.lost && !seg.retransmitted) {
       assert(lost_not_rtx_ > 0);
       --lost_not_rtx_;
@@ -231,7 +242,7 @@ void Subflow::process_new_ack(const Packet& ack) {
     }
     acked_bytes += seg.payload;
     ++acked_segments;
-    inflight_.erase(inflight_.begin());
+    inflight_.pop_front();
   }
   snd_una_ = ack.ack_seq;
   dupacks_ = 0;
@@ -246,8 +257,8 @@ void Subflow::process_new_ack(const Packet& ack) {
     const Duration sample = sim_.now() - ack.ts_val;
     rtt_.add_sample(sample);
     ++stats_.rtt_samples;
-    obs_.srtt_ms.set(sim_.now(), rtt_.srtt().to_millis());
-    obs_.rtt_sample_ms.record(sample.to_millis());
+    obs_->srtt_ms.set(sim_.now(), rtt_.srtt().to_millis());
+    obs_->rtt_sample_ms.record(sample.to_millis());
   }
   MPS_TRACE_EVENT(sim_, EventType::kPktAck, config_.conn_id, config_.id,
                   {"ack", ack.ack_seq}, {"acked", acked_segments},
@@ -296,7 +307,7 @@ void Subflow::process_dupack(const Packet& ack) {
   // following segments).
   if (!in_recovery_ && dupacks_ >= config_.dupack_threshold && lost_not_rtx_ == 0 &&
       !inflight_.empty()) {
-    SentSeg& lowest = inflight_.begin()->second;
+    SentSeg& lowest = inflight_.front();
     if (!lowest.lost && !lowest.sacked) {
       lowest.lost = true;
       lowest.retransmitted = false;
@@ -309,9 +320,12 @@ void Subflow::process_dupack(const Packet& ack) {
 bool Subflow::apply_sack(const Packet& ack) {
   bool newly_sacked = false;
   for (int b = 0; b < ack.n_sack; ++b) {
-    for (auto it = inflight_.lower_bound(ack.sack_lo[b]);
-         it != inflight_.end() && it->first < ack.sack_hi[b]; ++it) {
-      SentSeg& seg = it->second;
+    // The dense scoreboard makes lower_bound a max(): intersect the SACK
+    // block with [lo, hi) and walk it directly.
+    const std::uint64_t from = std::max(inflight_.lo(), ack.sack_lo[b]);
+    const std::uint64_t to = std::min(inflight_.hi(), ack.sack_hi[b]);
+    for (std::uint64_t seq = from; seq < to; ++seq) {
+      SentSeg& seg = inflight_[seq];
       if (seg.sacked) continue;
       seg.sacked = true;
       newly_sacked = true;
@@ -339,8 +353,9 @@ void Subflow::update_loss_marks() {
   // RACK-style rule: a retransmission not SACKed within rack_timeout() of
   // its (re)send was itself lost.
   bool newly_lost = false;
-  for (auto& [seq, seg] : inflight_) {
+  for (std::uint64_t seq = inflight_.lo(); seq != inflight_.hi(); ++seq) {
     if (seq + config_.dupack_threshold > sack_high_) break;
+    SentSeg& seg = inflight_[seq];
     if (seg.lost || seg.sacked) continue;
     if (seg.retransmitted) {
       // Re-mark only with delivery evidence newer than the retransmission
@@ -373,8 +388,9 @@ void Subflow::arm_rack_timer() {
   // Find the earliest outstanding retransmission below the FACK point; when
   // the ack clock dies (everything in flight), the timer re-detects its loss.
   TimePoint earliest = TimePoint::never();
-  for (const auto& [seq, seg] : inflight_) {
+  for (std::uint64_t seq = inflight_.lo(); seq != inflight_.hi(); ++seq) {
     if (seq + config_.dupack_threshold > sack_high_) break;
+    const SentSeg& seg = inflight_[seq];
     if (seg.lost || seg.sacked || !seg.retransmitted) continue;
     // No delivery evidence since this retransmission -> the RTO owns it; a
     // later ack re-runs update_loss_marks() and re-evaluates this timer.
@@ -405,13 +421,14 @@ void Subflow::enter_fast_recovery() {
   set_cwnd(ssthresh_);
   inter_loss_bytes_ = 0.0;
   ++stats_.fast_retransmits;
-  obs_.fast_recoveries.inc();
+  obs_->fast_recoveries.inc();
 }
 
 void Subflow::pump_retransmissions() {
   if (lost_not_rtx_ == 0) return;
-  for (auto& [seq, seg] : inflight_) {
+  for (std::uint64_t seq = inflight_.lo(); seq != inflight_.hi(); ++seq) {
     if (pipe() >= static_cast<std::size_t>(std::max(cwnd_, 1.0))) break;
+    SentSeg& seg = inflight_[seq];
     if (!seg.lost || seg.retransmitted) continue;
     retransmit(seq, seg);
     if (lost_not_rtx_ == 0) break;
@@ -440,7 +457,7 @@ void Subflow::retransmit(std::uint64_t seq, SentSeg& seg) {
   path_.down().send(pkt);
   last_send_time_ = sim_.now();
   ++stats_.retransmits;
-  obs_.retransmits.inc();
+  obs_->retransmits.inc();
   MPS_TRACE_EVENT(sim_, EventType::kPktRetransmit, config_.conn_id, config_.id,
                   {"seq", seq}, {"dseq", seg.data_seq}, {"len", seg.payload});
   arm_rto();
@@ -455,7 +472,7 @@ void Subflow::on_rto_fire() {
   if (inflight_.empty()) return;
   ++stats_.rto_events;
   ++stats_.iw_resets;  // back into slow start from a minimal window
-  obs_.rtos.inc();
+  obs_->rtos.inc();
   MPS_TRACE_EVENT(sim_, EventType::kRtoFire, config_.conn_id, config_.id,
                   {"backoff", rto_backoff_}, {"cwnd", cwnd_},
                   {"inflight", static_cast<std::uint64_t>(inflight_.size())});
@@ -473,7 +490,8 @@ void Subflow::on_rto_fire() {
   // Everything outstanding that the receiver has not SACKed is presumed
   // lost and must be resent.
   lost_not_rtx_ = 0;
-  for (auto& [seq, seg] : inflight_) {
+  for (std::uint64_t seq = inflight_.lo(); seq != inflight_.hi(); ++seq) {
+    SentSeg& seg = inflight_[seq];
     if (seg.sacked) {
       seg.lost = false;
       continue;
@@ -507,15 +525,14 @@ void SubflowReceiver::on_data_packet(const Packet& pkt) {
     ++rcv_next_;
     sink_->on_subflow_deliver(subflow_id_, pkt.data_seq, pkt.payload, now);
     // Drain any contiguous held segments.
-    auto it = ooo_.begin();
-    while (it != ooo_.end() && it->first == rcv_next_) {
+    while (const Held* h = ooo_.find(rcv_next_)) {
+      const Held held = *h;
+      ooo_.erase(rcv_next_);
       ++rcv_next_;
-      sink_->on_subflow_deliver(subflow_id_, it->second.data_seq, it->second.payload,
-                                it->second.arrival);
-      it = ooo_.erase(it);
+      sink_->on_subflow_deliver(subflow_id_, held.data_seq, held.payload, held.arrival);
     }
   } else if (pkt.subflow_seq > rcv_next_) {
-    ooo_.emplace(pkt.subflow_seq, Held{pkt.data_seq, pkt.payload, now});
+    ooo_.insert(pkt.subflow_seq, Held{pkt.data_seq, now, pkt.payload});
   }
   // else: duplicate of an already-delivered segment; ack it again below.
 
@@ -531,18 +548,15 @@ void SubflowReceiver::send_ack(const Packet& trigger) {
   ack.sack_high = rcv_high_;
 
   // SACK blocks: contiguous runs of out-of-order segments, lowest first.
-  auto it = ooo_.begin();
-  while (it != ooo_.end() && ack.n_sack < Packet::kMaxSackBlocks) {
-    const std::uint64_t lo = it->first;
+  std::uint64_t run = ooo_.min_key();
+  while (run != SeqWindow<Held>::kNone && ack.n_sack < Packet::kMaxSackBlocks) {
+    const std::uint64_t lo = run;
     std::uint64_t hi = lo + 1;
-    ++it;
-    while (it != ooo_.end() && it->first == hi) {
-      ++hi;
-      ++it;
-    }
+    while (ooo_.contains(hi)) ++hi;
     ack.sack_lo[ack.n_sack] = lo;
     ack.sack_hi[ack.n_sack] = hi;
     ++ack.n_sack;
+    run = ooo_.first_at_or_after(hi + 1);
   }
   ack.data_ack = sink_->meta_data_ack();
   ack.rwnd = sink_->meta_rwnd();

@@ -13,8 +13,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <deque>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -26,6 +24,8 @@
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "tcp/rtt.h"
+#include "traffic/arena.h"
+#include "util/ring.h"
 #include "util/time.h"
 
 namespace mps {
@@ -92,17 +92,32 @@ struct SegmentRef {
 // Sender-side scoreboard entry for one transmitted segment, keyed by subflow
 // sequence number. Exposed read-only for the invariant checker
 // (check/invariants.h); the state machine in subflow.cpp is the only writer.
+// Segments are assigned consecutive sequence numbers and retired only by the
+// cumulative ack, so the scoreboard is the dense range [snd_una, next_seq)
+// and lives in a SeqRing rather than a node-based map.
+// Members are ordered 8/8/4/1/1/1 so the struct packs into 24 bytes: the
+// scoreboard ring is the largest per-flow heap line at 100k flows, and the
+// u32/TimePoint padding hole of the naive order costs 8 bytes per segment.
 struct SentSeg {
   std::uint64_t data_seq = 0;
-  std::uint32_t payload = 0;
   TimePoint sent_at;
+  std::uint32_t payload = 0;
   bool retransmitted = false;
   bool sacked = false;  // receiver holds it out of order
   bool lost = false;    // FACK-deemed lost, awaiting retransmission
 };
+static_assert(sizeof(SentSeg) == 24);
 
-class Subflow {
+class Subflow final {
  public:
+  // Churned subflows recycle fixed-size arena slots instead of hitting the
+  // global heap (traffic/arena.h).
+  static void* operator new(std::size_t size) { return arena_allocate<Subflow>(size); }
+  static void operator delete(void* p, std::size_t size) {
+    arena_deallocate<Subflow>(p, size);
+  }
+
+
   Subflow(Simulator& sim, SubflowConfig config, Path& path,
           std::unique_ptr<CongestionController> cc, SubflowEnv* env);
 
@@ -180,7 +195,7 @@ class Subflow {
   // --- invariant-checker inspection (check/invariants.h) --------------------
   // Read-only views of the sender state machine; no test or checker may
   // mutate through these.
-  const std::map<std::uint64_t, SentSeg>& inflight() const { return inflight_; }
+  const SeqRing<SentSeg>& inflight() const { return inflight_; }
   std::uint64_t snd_una() const { return snd_una_; }
   std::uint64_t next_seq() const { return next_seq_; }
   std::uint64_t sack_high() const { return sack_high_; }
@@ -233,7 +248,9 @@ class Subflow {
   double ssthresh_ = 1e9;
   std::uint64_t next_seq_ = 0;   // next subflow sequence number to assign
   std::uint64_t snd_una_ = 0;    // lowest unacked subflow seq
-  std::map<std::uint64_t, SentSeg> inflight_;
+  // Dense scoreboard over [snd_una_, next_seq_): inflight_.lo() == snd_una_
+  // and inflight_.hi() == next_seq_ at every quiescent point.
+  SeqRing<SentSeg> inflight_;
 
   // Segments committed by the scheduler, awaiting CWND space.
   struct StagedSeg {
@@ -241,7 +258,7 @@ class Subflow {
     std::uint32_t payload;
     bool reinjection;
   };
-  std::deque<StagedSeg> staged_;
+  RingDeque<StagedSeg> staged_;
   std::uint64_t staged_bytes_ = 0;
 
   std::uint32_t dupacks_ = 0;
@@ -272,13 +289,18 @@ class Subflow {
 
   // Flight-recorder instruments; no-op handles when the owning Simulator has
   // no recorder attached (see obs/metrics.h naming convention in DESIGN.md).
+  // Behind a pointer: the handle block is 80 bytes, and in unrecorded runs
+  // (every scale cell, every golden) all subflows share one static detached
+  // block whose handles no-op, so each subflow carries 16 bytes instead.
   struct Instruments {
     Counter segments_sent, retransmits, fast_recoveries, rtos, idle_resets;
     Counter penalizations, reinjections_carried;
     Gauge cwnd, srtt_ms;
     Histogram rtt_sample_ms;
   };
-  Instruments obs_;
+  static Instruments& detached_instruments();
+  std::unique_ptr<Instruments> obs_owned_;  // populated only when recording
+  Instruments* obs_ = nullptr;              // obs_owned_ or the shared detached block
 };
 
 // Client-side receiver for one subflow: enforces subflow-level in-order
@@ -300,8 +322,15 @@ class MetaSink {
   virtual std::uint64_t meta_rwnd() const = 0;
 };
 
-class SubflowReceiver {
+class SubflowReceiver final {
  public:
+  static void* operator new(std::size_t size) {
+    return arena_allocate<SubflowReceiver>(size);
+  }
+  static void operator delete(void* p, std::size_t size) {
+    arena_deallocate<SubflowReceiver>(p, size);
+  }
+
   SubflowReceiver(Simulator& sim, std::uint32_t conn_id, std::uint32_t subflow_id,
                   Path& path, MetaSink* sink);
 
@@ -314,7 +343,7 @@ class SubflowReceiver {
   // Lowest held out-of-order subflow sequence; UINT64_MAX when none held
   // (invariant: always > rcv_next()).
   std::uint64_t ooo_min_seq() const {
-    return ooo_.empty() ? UINT64_MAX : ooo_.begin()->first;
+    return ooo_.empty() ? UINT64_MAX : ooo_.min_key();
   }
 
  private:
@@ -328,12 +357,14 @@ class SubflowReceiver {
 
   std::uint64_t rcv_next_ = 0;
   std::uint64_t rcv_high_ = 0;  // highest received + 1 (SACK summary)
-  struct Held {
+  struct Held {  // 8/8/4 order packs to 24 bytes (no u32/TimePoint hole)
     std::uint64_t data_seq;
-    std::uint32_t payload;
     TimePoint arrival;
+    std::uint32_t payload;
   };
-  std::map<std::uint64_t, Held> ooo_;
+  // Sparse holdings inside (rcv_next_, rcv_high_); the window span is
+  // bounded by the sender's flight, so a presence ring beats a map.
+  SeqWindow<Held> ooo_;
 };
 
 }  // namespace mps

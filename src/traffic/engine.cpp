@@ -14,7 +14,6 @@ namespace mps {
 
 struct TrafficEngine::Flow {
   TrafficFlowRecord rec;
-  Rng rng{0};  // per-flow fork; sized flows draw their size from it
   std::unique_ptr<Connection> conn;
   std::unique_ptr<HttpExchange> http;
 };
@@ -168,11 +167,14 @@ TrafficResult TrafficEngine::run() {
     flows_.reserve(plan.size());
     for (const Plan& p : plan) {
       auto f = std::make_unique<Flow>();
-      f->rng = master.fork();
+      // Fork unconditionally (cross flows too) so the draw sequence is
+      // independent of each flow's kind; the fork is consumed here rather
+      // than stored per flow.
+      Rng flow_rng = master.fork();
       f->rec.cross = p.cross;
       f->rec.cross_path = p.path;
       f->rec.arrival_s = p.arrival_s;
-      if (!p.cross) f->rec.bytes = draw_size(f->rng, t);
+      if (!p.cross) f->rec.bytes = draw_size(flow_rng, t);
       flows_.push_back(std::move(f));
     }
   }

@@ -342,5 +342,142 @@ TEST(TimerTest, CanRescheduleFromOwnCallback) {
   EXPECT_EQ(count, 3);
 }
 
+// The wheel-vs-reference equivalence harness: drives an EventQueue and a
+// brute-force model (linear-scan min by (when, insertion order)) through the
+// same randomized schedule/cancel/pop trace and demands identical fire order
+// and identical size() at every step. `span_ns` controls how far apart
+// timestamps land, i.e. which wheel levels (or the far-future heap) the
+// events exercise; `monotone` anchors timestamps at the last popped time,
+// mimicking a real simulation clock.
+void RunChurnEquivalence(std::uint64_t seed, std::int64_t span_ns, bool monotone,
+                         int steps) {
+  struct Ref {
+    std::int64_t when;
+    std::uint64_t order;
+    int tag;
+  };
+  EventQueue q;
+  std::vector<Ref> model;
+  std::vector<std::pair<EventId, int>> ids;
+  std::vector<int> fired_queue;
+  std::uint64_t order = 0;
+  int tag = 0;
+  std::uint64_t lcg = seed;
+  auto rnd = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % mod;
+  };
+  std::int64_t now = 0;
+  for (int step = 0; step < steps; ++step) {
+    ASSERT_EQ(q.size(), model.size()) << "step " << step;
+    const std::uint64_t op = rnd(10);
+    if (op < 5 || model.empty()) {
+      const std::int64_t when =
+          (monotone ? now : std::int64_t{0}) + static_cast<std::int64_t>(rnd(
+              static_cast<std::uint64_t>(span_ns)));
+      const int t = tag++;
+      ids.emplace_back(q.schedule(TimePoint::from_ns(when),
+                                  [&fired_queue, t] { fired_queue.push_back(t); }),
+                       t);
+      model.push_back({when, order++, t});
+    } else if (op < 7 && !ids.empty()) {
+      const std::size_t k = rnd(ids.size());
+      q.cancel(ids[k].first);
+      const int t = ids[k].second;
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(k));
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (model[i].tag == t) {
+          model.erase(model.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < model.size(); ++i) {
+        if (model[i].when < model[best].when ||
+            (model[i].when == model[best].when && model[i].order < model[best].order)) {
+          best = i;
+        }
+      }
+      ASSERT_EQ(q.next_time().ns(), model[best].when) << "step " << step;
+      q.pop().fn();
+      ASSERT_FALSE(fired_queue.empty());
+      ASSERT_EQ(fired_queue.back(), model[best].tag) << "step " << step;
+      now = std::max(now, model[best].when);
+      const int t = model[best].tag;
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(best));
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i].second == t) {
+          ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  while (!q.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < model.size(); ++i) {
+      if (model[i].when < model[best].when ||
+          (model[i].when == model[best].when && model[i].order < model[best].order)) {
+        best = i;
+      }
+    }
+    q.pop().fn();
+    ASSERT_EQ(fired_queue.back(), model[best].tag);
+    model.erase(model.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  EXPECT_TRUE(model.empty());
+}
+
+// Spans chosen around the wheel geometry (tick = 2^17 ns ~ 131 us; level
+// spans ~33.6 ms / ~8.6 s / ~36.7 min): single-tick collisions, level-0
+// only, level-0/1 boundary, level-1/2 boundary, and far enough that events
+// overflow to the heap and back onto the wheel as the cursor advances.
+TEST(EventQueueTest, WheelChurnSingleTick) {
+  RunChurnEquivalence(/*seed=*/7, /*span_ns=*/50, /*monotone=*/false, 6000);
+}
+
+TEST(EventQueueTest, WheelChurnLevel0) {
+  RunChurnEquivalence(/*seed=*/11, /*span_ns=*/20'000'000, /*monotone=*/true, 6000);
+}
+
+TEST(EventQueueTest, WheelChurnLevel01Boundary) {
+  RunChurnEquivalence(/*seed=*/13, /*span_ns=*/200'000'000, /*monotone=*/true, 6000);
+}
+
+TEST(EventQueueTest, WheelChurnLevel12Boundary) {
+  RunChurnEquivalence(/*seed=*/17, /*span_ns=*/60'000'000'000, /*monotone=*/true, 4000);
+}
+
+TEST(EventQueueTest, WheelChurnBeyondHorizonUsesHeap) {
+  RunChurnEquivalence(/*seed=*/19, /*span_ns=*/4'000'000'000'000, /*monotone=*/true, 3000);
+}
+
+TEST(EventQueueTest, WheelChurnMixedSpansNonMonotone) {
+  RunChurnEquivalence(/*seed=*/23, /*span_ns=*/9'000'000'000, /*monotone=*/false, 6000);
+}
+
+// Events scheduled behind the wheel cursor (possible when the simulated
+// clock advanced via a heap event) still fire in exact (when, seq) order.
+TEST(EventQueueTest, OverdueScheduleAfterCursorAdvance) {
+  EventQueue q;
+  std::vector<int> fired;
+  // Far-future event lands in the heap; popping it does not move the wheel.
+  q.schedule(TimePoint::from_ns(7'200'000'000'000), [&] { fired.push_back(0); });
+  // Wheel residents establish a cursor near t=1ms; the 2ms one stays put so
+  // the cursor cannot reset when the 1ms event pops.
+  q.schedule(TimePoint::from_ns(1'000'000), [&] { fired.push_back(1); });
+  q.schedule(TimePoint::from_ns(2'000'000), [&] { fired.push_back(5); });
+  q.pop().fn();  // t=1ms wheel event
+  // Now schedule earlier than the cursor's tick: clamps into the current
+  // bucket, but must still fire before the 2ms event, in exact (when, seq)
+  // order among themselves.
+  q.schedule(TimePoint::from_ns(500), [&] { fired.push_back(2); });
+  q.schedule(TimePoint::from_ns(400), [&] { fired.push_back(3); });
+  q.schedule(TimePoint::from_ns(500), [&] { fired.push_back(4); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 2, 4, 5, 0}));
+}
+
 }  // namespace
 }  // namespace mps
