@@ -14,6 +14,11 @@
 //    concurrency), deduplicated, in one invocation — each run carries the
 //    SweepRunner's per-worker busy/wait/idle telemetry so the grid speedup
 //    (or its absence) is explained, not just reported.
+//  * prefix_dedupe: wall-clock for a what-if scheduler grid (one prefix,
+//    four divergent suffixes; exp/snapshot.h) with the shared prefix
+//    simulated once and forked vs every branch run from scratch. Both modes
+//    are byte-identical by construction; this cell measures the speedup the
+//    snapshot-and-fork machinery buys.
 //
 // With --prof-out FILE, additionally writes a ProfileReport
 // (exp/prof_report.h) carrying the profiler scope/memory tables (populated
@@ -27,6 +32,7 @@
 
 #include "bench/common.h"
 #include "exp/prof_report.h"
+#include "exp/snapshot.h"
 #include "obs/prof.h"
 #include "scenario/json.h"
 #include "sim/event_queue.h"
@@ -177,6 +183,25 @@ GridRun grid_sweep(int jobs, const CellConfig& cell) {
   return r;
 }
 
+// ---- prefix-dedupe what-if grid --------------------------------------------
+
+struct WhatIfRun {
+  double seconds = 0.0;
+  std::vector<ScenarioOutcome> outcomes;
+};
+
+// Serial (jobs=1) on purpose: the cell measures the algorithmic win of
+// sharing the prefix, not thread-pool scaling (the grid runs above cover
+// that).
+WhatIfRun whatif_sweep(const ScenarioSpec& spec, const std::vector<std::string>& scheds,
+                       double switch_at_s, bool share_prefix) {
+  const auto start = std::chrono::steady_clock::now();
+  WhatIfRun r;
+  r.outcomes = run_whatif_grid(spec, scheds, switch_at_s, share_prefix, {}, SweepOptions{1});
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return r;
+}
+
 Json telemetry_to_json(const SweepTelemetry& t) {
   Json j = Json::object();
   j.set("wall_ns", Json::number(static_cast<std::int64_t>(t.wall_ns)));
@@ -249,6 +274,27 @@ int main(int argc, char** argv) {
                 r.jobs, r.seconds, cells / r.seconds, serial_s / r.seconds, util * 100.0);
   }
 
+  // What-if scheduler grid: all four schedulers diverge from one minrtt
+  // prefix at 75% of the video, so the shared-prefix mode simulates ~3/4 of
+  // the work once instead of four times.
+  const std::vector<std::string> whatif_scheds = {"minrtt", "ecf", "blest", "daps"};
+  const double video_s = cell.scale.video.to_seconds();
+  const double switch_at_s = 0.75 * video_s;
+  const ScenarioSpec whatif_spec = streaming_spec(2.0, 8.0, "minrtt", cell);
+  std::printf(
+      "\nprefix-dedupe what-if grid (%zu schedulers, switch at %.0f of %.0f s, %d rep(s)):\n",
+      whatif_scheds.size(), switch_at_s, video_s, whatif_spec.workload.runs);
+  const WhatIfRun scratch = whatif_sweep(whatif_spec, whatif_scheds, switch_at_s, false);
+  const WhatIfRun shared = whatif_sweep(whatif_spec, whatif_scheds, switch_at_s, true);
+  bool whatif_identical = scratch.outcomes.size() == shared.outcomes.size();
+  for (std::size_t i = 0; whatif_identical && i < scratch.outcomes.size(); ++i) {
+    whatif_identical = format_outcome(whatif_spec, scratch.outcomes[i]) ==
+                       format_outcome(whatif_spec, shared.outcomes[i]);
+  }
+  std::printf("  scratch         %8.2f s\n", scratch.seconds);
+  std::printf("  shared prefix   %8.2f s  (%.2fx, outcomes %s)\n", shared.seconds,
+              scratch.seconds / shared.seconds, whatif_identical ? "identical" : "MISMATCH");
+
   Json doc = Json::object();
   doc.set("bench", Json::string("bench_speed"));
   doc.set("scale", Json::string(bench_scale().name));
@@ -282,6 +328,19 @@ int main(int argc, char** argv) {
   grid_doc.set("jobs", Json::number(static_cast<std::int64_t>(runs.back().jobs)));
   grid_doc.set("speedup", Json::number(serial_s / runs.back().seconds));
   doc.set("grid", grid_doc);
+
+  Json dedupe = Json::object();
+  Json scheds_doc = Json::array();
+  for (const std::string& s : whatif_scheds) scheds_doc.push_back(Json::string(s));
+  dedupe.set("schedulers", scheds_doc);
+  dedupe.set("video_s", Json::number(video_s));
+  dedupe.set("switch_at_s", Json::number(switch_at_s));
+  dedupe.set("reps", Json::number(static_cast<std::int64_t>(whatif_spec.workload.runs)));
+  dedupe.set("scratch_s", Json::number(scratch.seconds));
+  dedupe.set("shared_s", Json::number(shared.seconds));
+  dedupe.set("speedup", Json::number(scratch.seconds / shared.seconds));
+  dedupe.set("outcomes_identical", Json::boolean(whatif_identical));
+  doc.set("prefix_dedupe", dedupe);
 
   std::ofstream f(out_path);
   if (!f) {

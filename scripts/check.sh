@@ -10,6 +10,7 @@
 #   scripts/check.sh --stress      # only a full seeded stress sweep (assumes ./build)
 #   scripts/check.sh --fairness    # only the fairness smoke (assumes ./build)
 #   scripts/check.sh --scale       # only the 1k-flow scale smoke (assumes ./build)
+#   scripts/check.sh --snapshot    # only the snapshot-and-fork smoke (assumes ./build)
 #
 # The default suite always includes a profiling smoke: a -DMPS_PROF=ON build
 # runs its profiler unit tests and the full golden corpus (byte-identical
@@ -107,6 +108,31 @@ run_scale_smoke() {
   "$build_dir/bench/bench_scale" --smoke
 }
 
+# Snapshot-and-fork smoke: every preset run through mps_run with a mid-run
+# snapshot + 2-way fork must print output byte-identical to the plain run
+# (exp/snapshot.h's sequential-consistency contract), and mps_run's own
+# fork-check must pass. Durations are overridden down like the scenario
+# smoke so this stays fast at any scale.
+run_snapshot_smoke() {
+  local build_dir="$1"
+  echo "snapshot smoke ($build_dir): mps_run --snapshot-at=0.5 --fork=2 vs plain"
+  cmake --build "$build_dir" -j "$(nproc)" --target mps_run
+  local spec plain forked
+  for spec in scenarios/*.json; do
+    echo "  $spec"
+    plain="$("$build_dir/tools/mps_run" "$spec" \
+      --set workload.video_s=5 --set workload.bytes=65536 --set workload.runs=1)"
+    forked="$("$build_dir/tools/mps_run" "$spec" \
+      --set workload.video_s=5 --set workload.bytes=65536 --set workload.runs=1 \
+      --snapshot-at=0.5 --fork=2)"
+    if [[ "$plain" != "$forked" ]]; then
+      echo "mps_run: snapshot+fork changed the output for $spec" >&2
+      diff <(printf '%s\n' "$plain") <(printf '%s\n' "$forked") >&2 || true
+      return 1
+    fi
+  done
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -126,6 +152,7 @@ scenarios_only=0
 stress_only=0
 fairness_only=0
 scale_only=0
+snapshot_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -136,6 +163,7 @@ for arg in "$@"; do
     --stress) stress_only=1 ;;
     --fairness) fairness_only=1 ;;
     --scale) scale_only=1 ;;
+    --snapshot) snapshot_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -164,8 +192,15 @@ if [[ "$scale_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$snapshot_only" == 1 ]]; then
+  run_snapshot_smoke build
+  echo "check.sh: snapshot smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
+run_snapshot_smoke build
 run_stress_sweep build --seeds 2
 run_fairness_smoke build
 run_scale_smoke build
@@ -174,6 +209,7 @@ run_prof_smoke build-prof
 if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
   run_scenarios_smoke build-sanitize
+  run_snapshot_smoke build-sanitize
   run_stress_sweep build-sanitize --seeds 6
   run_scale_smoke build-sanitize
 fi
@@ -184,6 +220,7 @@ if [[ "$tsan" == 1 ]]; then
   run_suite build-tsan "Sweep|EventQueue|Simulator|Timer" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=thread
   run_scenarios_smoke build-tsan
+  run_snapshot_smoke build-tsan
 fi
 
 if [[ "$notrace" == 1 ]]; then

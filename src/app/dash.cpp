@@ -128,6 +128,23 @@ void DashSession::on_chunk_done(const ObjectResult& result) {
   }
 }
 
+void DashSession::restore_from(const DashSession& src) {
+  next_chunk_ = src.next_chunk_;
+  started_ = src.started_;
+  finished_ = src.finished_;
+  playing_ = src.playing_;
+  buffer_s_ = src.buffer_s_;
+  last_playback_update_ = src.last_playback_update_;
+  rebuffer_time_ = src.rebuffer_time_;
+  rebuffer_events_ = src.rebuffer_events_;
+  chunks_ = src.chunks_;
+  recent_tput_mbps_ = src.recent_tput_mbps_;
+  off_timer_.clone_from(src.off_timer_, [this] { fetch_next(); });
+  for (std::size_t i = 0; i < http_.outstanding(); ++i) {
+    http_.set_outstanding_done(i, [this](const ObjectResult& r) { on_chunk_done(r); });
+  }
+}
+
 double DashSession::mean_bitrate_mbps() const {
   if (chunks_.empty()) return 0.0;
   double sum = 0.0;

@@ -56,6 +56,13 @@ class DashSession {
   bool finished() const { return finished_; }
   std::function<void()> on_finished;
 
+  // --- snapshot support (exp/snapshot.h) ------------------------------------
+  // Copies playback/ABR/fetch state from `src` (same config, over the fork's
+  // twin exchange — which must already be restored) and re-installs this
+  // session's chunk-completion callback on the exchange's outstanding
+  // objects. Owners re-wire on_finished themselves.
+  void restore_from(const DashSession& src);
+
   // --- metrics --------------------------------------------------------------
   const std::vector<ChunkRecord>& chunks() const { return chunks_; }
   double mean_bitrate_mbps() const;

@@ -16,6 +16,12 @@ HttpExchange::~HttpExchange() {
   conn_.on_sendable = nullptr;
   conn_.on_deliver = nullptr;
   conn_.on_wire_arrival_hook = nullptr;
+  // Cancel in-flight GETs: their closures capture `this`, and an exchange
+  // torn down mid-request (connection churn) must not leave them live.
+  while (!request_ids_.empty()) {
+    sim_.cancel(request_ids_.front());
+    request_ids_.pop_front();
+  }
 }
 
 void HttpExchange::get(std::uint64_t bytes, DoneFn done) {
@@ -32,15 +38,31 @@ void HttpExchange::get(std::uint64_t bytes, DoneFn done) {
   // The GET reaches the server after the one-way control latency; `serving`
   // marks arrival. Objects are identified positionally: requests arrive in
   // issue order because the delay is constant.
-  sim_.after(request_delay_, [this] {
-    for (std::size_t i = head_; i < objects_.size(); ++i) {
-      if (!objects_[i].serving) {
-        objects_[i].serving = true;
-        break;
-      }
+  request_ids_.push_back(sim_.after(request_delay_, [this] { on_request_arrival(); }));
+}
+
+void HttpExchange::on_request_arrival() {
+  if (!request_ids_.empty()) request_ids_.pop_front();
+  for (std::size_t i = head_; i < objects_.size(); ++i) {
+    if (!objects_[i].serving) {
+      objects_[i].serving = true;
+      break;
     }
-    server_pump();
-  });
+  }
+  server_pump();
+}
+
+void HttpExchange::restore_from(const HttpExchange& src) {
+  objects_ = src.objects_;
+  // Completion callbacks capture the source's owners; each fork owner
+  // re-installs its own via set_outstanding_done.
+  for (PendingObject& obj : objects_) obj.done = nullptr;
+  head_ = src.head_;
+  delivered_total_ = src.delivered_total_;
+  request_ids_ = src.request_ids_;
+  for (std::size_t i = 0; i < request_ids_.size(); ++i) {
+    sim_.rebind(request_ids_.at(i), [this] { on_request_arrival(); });
+  }
 }
 
 void HttpExchange::server_pump() {

@@ -14,6 +14,7 @@
 
 #include "mptcp/connection.h"
 #include "sim/simulator.h"
+#include "util/ring.h"
 
 namespace mps {
 
@@ -49,6 +50,19 @@ class HttpExchange {
   // Completion time of everything delivered so far.
   std::uint64_t total_delivered() const { return delivered_total_; }
 
+  // --- snapshot support (exp/snapshot.h) ------------------------------------
+  // Copies the object FIFO and in-flight GET events from `src` (an exchange
+  // over the fork's twin connection) and adopts the request events by
+  // EventId. Completion callbacks are deliberately left empty: they capture
+  // the source's owners, so each fork owner re-installs its own with
+  // set_outstanding_done right after this.
+  void restore_from(const HttpExchange& src);
+  // Re-installs the completion callback of outstanding object `i` (0 = the
+  // object currently being served / next to complete).
+  void set_outstanding_done(std::size_t i, DoneFn done) {
+    objects_[head_ + i].done = std::move(done);
+  }
+
  private:
   struct PendingObject {
     std::uint64_t bytes;
@@ -60,6 +74,7 @@ class HttpExchange {
   };
 
   void server_pump();
+  void on_request_arrival();
   void on_delivered(std::uint64_t bytes, TimePoint when);
   void on_wire(std::uint32_t subflow_id, TimePoint when);
   void pop_front_object();
@@ -75,6 +90,11 @@ class HttpExchange {
   std::vector<PendingObject> objects_;
   std::size_t head_ = 0;  // objects_[head_..) are outstanding
   std::uint64_t delivered_total_ = 0;
+  // In-flight GET control messages, in issue order (constant delay => FIFO
+  // firing). Tracked so the destructor can cancel them — the closures
+  // capture `this`, and an exchange torn down under churn used to leave
+  // them dangling — and so snapshot forks can rebind them.
+  RingDeque<EventId> request_ids_;
   // Liveness sentinel: a completion callback may destroy this exchange
   // (WebBrowser retires the connection from inside `done`), so on_delivered
   // watches a weak_ptr to it and stops touching members once expired.

@@ -84,6 +84,41 @@ void WebBrowser::assign_next(std::size_t slot_index) {
   });
 }
 
+void WebBrowser::restore_from(const WebBrowser& src,
+                              const std::function<void(std::uint32_t)>& set_next_conn_id) {
+  next_object_ = src.next_object_;
+  outstanding_ = src.outstanding_;
+  finished_ = src.finished_;
+  page_start_ = src.page_start_;
+  page_end_ = src.page_end_;
+  object_times_ = src.object_times_;
+  ooo_delays_ = src.ooo_delays_;
+  retired_iw_resets_ = src.retired_iw_resets_;
+  assert(slots_.size() == src.slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& dst = slots_[i];
+    const Slot& s = src.slots_[i];
+    dst.last_activity = s.last_activity;
+    dst.busy = s.busy;
+    if (s.conn == nullptr) continue;
+    set_next_conn_id(s.conn->config().conn_id);
+    dst.conn = factory_();
+    const Duration request_delay = dst.conn->subflows()[0]->path().rtt_base() / 2;
+    dst.http = std::make_unique<HttpExchange>(sim_, *dst.conn, request_delay);
+    dst.conn->restore_from(*s.conn);
+    dst.http->restore_from(*s.http);
+    for (std::size_t j = 0; j < dst.http->outstanding(); ++j) {
+      dst.http->set_outstanding_done(j, [this, i](const ObjectResult& r) {
+        Slot& sl = slots_[i];
+        sl.last_activity = sim_.now();
+        object_times_.add((r.completed - r.requested).to_seconds());
+        --outstanding_;
+        assign_next(i);
+      });
+    }
+  }
+}
+
 std::uint64_t WebBrowser::iw_resets() const {
   std::uint64_t total = retired_iw_resets_;
   for (const auto& slot : slots_) {

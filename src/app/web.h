@@ -49,6 +49,16 @@ class WebBrowser {
   bool finished() const { return finished_; }
   std::function<void()> on_finished;
 
+  // --- snapshot support (exp/snapshot.h) ------------------------------------
+  // Rebuilds this browser's per-slot connections as twins of `src`'s live
+  // slots — minting each through the factory under the source's conn_id via
+  // `set_next_conn_id` (the owner passes World::set_next_conn_id) — then
+  // restores connection/exchange state and re-installs the completion
+  // callbacks. Owners re-wire on_finished themselves. Call after the world's
+  // event queue has been cloned.
+  void restore_from(const WebBrowser& src,
+                    const std::function<void(std::uint32_t)>& set_next_conn_id);
+
   // --- metrics --------------------------------------------------------------
   // Per-object download completion times, seconds (paper Figs. 20/23a).
   const Samples& object_times() const { return object_times_; }

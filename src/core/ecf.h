@@ -63,6 +63,11 @@ class EcfScheduler final : public Scheduler {
 
   bool waiting() const { return waiting_; }
 
+  void restore_from(const Scheduler& src) override {
+    Scheduler::restore_from(src);
+    waiting_ = static_cast<const EcfScheduler&>(src).waiting_;
+  }
+
  private:
   // Outlined Explain record carrying the full Algorithm 1 terms; cold so the
   // per-segment pick() path keeps its uninstrumented cost.

@@ -1,45 +1,103 @@
 #include "exp/download.h"
 
+#include <cassert>
+
 #include "app/http.h"
+#include "exp/snapshot.h"
 #include "exp/testbed.h"
 #include "sched/registry.h"
 
 namespace mps {
 
-DownloadResult run_download(const DownloadParams& params) {
+DownloadRun::DownloadRun(const DownloadParams& params) : params_(params) { construct(); }
+
+DownloadRun::DownloadRun(const DownloadRun& src, ForkTag) : params_(src.params_) {
+  construct();
+  snapshot::require_construction_event_free(sim(), "DownloadRun::fork");
+  bed_->world().restore_from(src.bed_->world());
+  conn_->restore_from(*src.conn_);
+  http_->restore_from(*src.http_);
+  if (http_->outstanding() > 0) install_done();
+  res_ = src.res_;
+  started_ = src.started_;
+  done_ = src.done_;
+  if (started_ && params_.heartbeat.enabled()) {
+    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
+  }
+  snapshot::require_fully_rebound(sim(), "DownloadRun::fork");
+}
+
+DownloadRun::~DownloadRun() = default;
+
+void DownloadRun::construct() {
+  cap_ = TimePoint::origin() + Duration::seconds(600);
+
   TestbedConfig tb;
-  tb.wifi = wifi_profile(Rate::mbps(params.wifi_mbps));
-  tb.lte = lte_profile(Rate::mbps(params.lte_mbps));
-  tb.seed = params.seed;
-  tb.conn.cc = params.cc;
+  tb.wifi = wifi_profile(Rate::mbps(params_.wifi_mbps));
+  tb.lte = lte_profile(Rate::mbps(params_.lte_mbps));
+  tb.seed = params_.seed;
+  tb.conn.cc = params_.cc;
 
-  Testbed bed(tb);
-  auto conn = bed.make_connection(scheduler_factory(params.scheduler));
-  HttpExchange http(bed.sim(), *conn, bed.request_delay());
+  bed_ = std::make_unique<Testbed>(tb);
+  conn_ = bed_->make_connection(scheduler_factory(params_.scheduler));
+  http_ = std::make_unique<HttpExchange>(bed_->sim(), *conn_, bed_->request_delay());
+}
 
-  DownloadResult res;
-  http.get(params.bytes, [&](const ObjectResult& r) {
-    res.completion = r.completed - r.requested;
-    bed.sim().request_stop();
+void DownloadRun::install_done() {
+  http_->set_outstanding_done(0, [this](const ObjectResult& r) {
+    res_.completion = r.completed - r.requested;
+    done_ = true;
+    bed_->sim().request_stop();
   });
-  if (params.heartbeat.enabled()) {
-    bed.sim().set_heartbeat(params.heartbeat.interval_s, params.heartbeat.fn);
+}
+
+Simulator& DownloadRun::sim() { return bed_->sim(); }
+
+void DownloadRun::start() {
+  assert(!started_);
+  started_ = true;
+  http_->get(params_.bytes, nullptr);
+  install_done();
+  if (params_.heartbeat.enabled()) {
+    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
   }
-  bed.sim().run_until(TimePoint::origin() + Duration::seconds(600));
-  if (params.telemetry != nullptr) {
-    params.telemetry->events += bed.sim().events_processed();
-    params.telemetry->sim_s += (bed.sim().now() - TimePoint::origin()).to_seconds();
+}
+
+void DownloadRun::run_to(TimePoint t) {
+  if (done_) return;
+  bed_->sim().run_until(t < cap_ ? t : cap_);
+}
+
+std::unique_ptr<DownloadRun> DownloadRun::fork() const {
+  return std::unique_ptr<DownloadRun>(new DownloadRun(*this, ForkTag{}));
+}
+
+void DownloadRun::set_scheduler(const SchedulerFactory& factory) {
+  conn_->set_scheduler(factory());
+}
+
+DownloadResult DownloadRun::finish() {
+  if (!done_) bed_->sim().run_until(cap_);
+  if (params_.telemetry != nullptr) {
+    params_.telemetry->events += bed_->sim().events_processed();
+    params_.telemetry->sim_s += (bed_->sim().now() - TimePoint::origin()).to_seconds();
   }
 
-  const bool lte_fast = params.lte_mbps > params.wifi_mbps;
-  const auto& subflows = conn->subflows();
+  const bool lte_fast = params_.lte_mbps > params_.wifi_mbps;
+  const auto& subflows = conn_->subflows();
   const std::uint64_t wifi_bytes = subflows[0]->stats().bytes_sent;
   const std::uint64_t lte_bytes = subflows[1]->stats().bytes_sent;
   const std::uint64_t total = wifi_bytes + lte_bytes;
-  res.fraction_fast =
+  res_.fraction_fast =
       total > 0 ? static_cast<double>(lte_fast ? lte_bytes : wifi_bytes) / total : 0.0;
-  res.ooo_delay = conn->ooo_delay();
-  return res;
+  res_.ooo_delay = conn_->ooo_delay();
+  return res_;
+}
+
+DownloadResult run_download(const DownloadParams& params) {
+  DownloadRun run(params);
+  run.start();
+  return run.finish();
 }
 
 Samples run_download_samples(DownloadParams params, int runs) {

@@ -3,14 +3,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "mptcp/scheduler.h"
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "util/stats.h"
 #include "util/time.h"
 
 namespace mps {
+
+class HttpExchange;
+class Testbed;
 
 struct DownloadParams {
   double wifi_mbps = 1.0;
@@ -28,6 +33,49 @@ struct DownloadResult {
   Duration completion = Duration::zero();
   double fraction_fast = 0.0;
   Samples ooo_delay;
+};
+
+// One download run held as an object so it can be paused mid-simulation and
+// forked (exp/snapshot.h). run_download() is construct + start + finish.
+class DownloadRun {
+ public:
+  explicit DownloadRun(const DownloadParams& params);
+  ~DownloadRun();
+  DownloadRun(const DownloadRun&) = delete;
+  DownloadRun& operator=(const DownloadRun&) = delete;
+
+  // Issues the GET and attaches the heartbeat. Call once.
+  void start();
+  // Advances to absolute time `t` (clamped to the 600 s safety cap); no-op
+  // once the download has completed.
+  void run_to(TimePoint t);
+  bool done() const { return done_; }
+  Simulator& sim();
+  Connection& connection() { return *conn_; }
+
+  // Independent copy at the current simulation time (see StreamingRun::fork).
+  std::unique_ptr<DownloadRun> fork() const;
+
+  // What-if divergence: replaces the connection's scheduler.
+  void set_scheduler(const SchedulerFactory& factory);
+
+  // Runs to completion (or the cap) and gathers the result.
+  DownloadResult finish();
+
+ private:
+  struct ForkTag {};
+  DownloadRun(const DownloadRun& src, ForkTag);
+  void construct();
+  void install_done();
+
+  DownloadParams params_;
+  TimePoint cap_;
+  std::unique_ptr<Testbed> bed_;
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<HttpExchange> http_;
+  DownloadResult res_;
+  bool started_ = false;
+  bool done_ = false;
 };
 
 DownloadResult run_download(const DownloadParams& params);

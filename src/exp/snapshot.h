@@ -1,0 +1,125 @@
+// Snapshot-and-fork: pause a running experiment at a simulation time and
+// fork it into independent, bit-reproducible copies that share the computed
+// prefix (DESIGN.md §13).
+//
+// Mechanism, shared by every Run class (StreamingRun, DownloadRun,
+// WebPageRun, TrafficRun here):
+//  1. clone the source's FlightRecorder *first*, so the fork's construction
+//     resolves instrument handles into the copied storage;
+//  2. re-run the normal construction path ("fork shell") — construction is
+//     event-free by design, which require_construction_event_free asserts;
+//  3. structure-clone the event queue (EventIds and ordering preserved,
+//     callbacks dropped), then per-object restore_from copies dynamic state
+//     and rebinds each adopted event to the fork's objects;
+//  4. undo construction-time instrument writes via restore_data_from;
+//  5. require_fully_rebound audits that no live event was left without a
+//     callback — the mechanism that surfaces forgotten capture sites.
+//
+// Forks are sequential-consistent: fork-then-finish produces output
+// byte-identical to an unforked run, so a prefix shared by many sweep cells
+// (same seed, divergent suffix) is simulated once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_run.h"
+#include "exp/sweep.h"
+#include "scenario/world.h"
+#include "sim/simulator.h"
+#include "traffic/engine.h"
+
+namespace mps {
+
+namespace snapshot {
+
+// Throws std::logic_error when `sim` has pending events: a fork shell's
+// construction scheduled something, which would collide with the adopted
+// source events. `who` names the offending fork path in the message.
+void require_construction_event_free(Simulator& sim, const char* who);
+
+// Throws std::logic_error when any live event has no callback bound — a
+// restore_from path forgot to adopt it. Run as the last step of every fork.
+void require_fully_rebound(Simulator& sim, const char* who);
+
+}  // namespace snapshot
+
+// One competing-traffic run held as an object so it can be paused and forked
+// (spec.traffic workloads). Mirrors StreamingRun's shape; the engine's
+// staged-driving API (TrafficEngine::start/finish/collect) does the work.
+class TrafficRun {
+ public:
+  TrafficRun(const ScenarioSpec& spec, const ScenarioRunOptions& opts = {});
+  ~TrafficRun();
+  TrafficRun(const TrafficRun&) = delete;
+  TrafficRun& operator=(const TrafficRun&) = delete;
+
+  void start();
+  void run_to(TimePoint t);
+  bool done() const;
+  Simulator& sim();
+  FlightRecorder* recorder() const;
+  TrafficEngine& engine() { return *engine_; }
+
+  std::unique_ptr<TrafficRun> fork() const;
+
+  TrafficResult finish();
+
+ private:
+  struct ForkTag {};
+  TrafficRun(const TrafficRun& src, ForkTag);
+  void construct(const ScenarioSpec& spec, FlightRecorder* recorder);
+
+  ScenarioRunOptions opts_;
+  std::unique_ptr<FlightRecorder> owned_rec_;
+  std::unique_ptr<WorldBuilder> builder_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<TrafficEngine> engine_;
+  TimePoint base_;
+  std::uint64_t events_before_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+// run_scenario, but with a snapshot-and-fork inserted at origin +
+// `snapshot_at_s` into every repetition: the original run is advanced to the
+// snapshot point, forked, discarded, and the fork runs to completion. Output
+// is byte-identical to run_scenario (same aggregation, same seed
+// conventions); the golden-corpus fork tests pin this. Repetitions sweep in
+// parallel per `sweep` (jobs=1 forced when opts.recorder is set — a shared
+// recorder cannot take concurrent cells).
+ScenarioOutcome run_scenario_forked(const ScenarioSpec& spec, double snapshot_at_s,
+                                    const ScenarioRunOptions& opts = {},
+                                    const SweepOptions& sweep = {});
+
+// Same, but forks `k` sibling copies of every repetition at the snapshot
+// point and finishes each: returns one outcome per fork index. All k
+// outcomes must be identical (independent copies of the same state); the
+// mps_run --fork=K check asserts exactly that. run_scenario_forked is the
+// k=1 case.
+std::vector<ScenarioOutcome> run_scenario_fork_k(const ScenarioSpec& spec,
+                                                 double snapshot_at_s, int k,
+                                                 const ScenarioRunOptions& opts = {},
+                                                 const SweepOptions& sweep = {});
+
+// What-if scheduler grid: for each repetition of the spec's workload, run
+// the shared prefix to origin + `switch_at_s`, then diverge one branch per
+// scheduler name (set_scheduler takes effect at the next pick) and run each
+// branch to completion. Returns one aggregated outcome per scheduler, in
+// order.
+//
+// share_prefix=true simulates each repetition's prefix once and forks K
+// branches from it; false runs the full K×reps grid from scratch (each cell
+// still switches scheduler at switch_at_s, so the two modes are
+// byte-identical — the bench's prefix-dedupe speedup cell times both).
+// Stream and download workloads only (single-connection; set_scheduler has a
+// well-defined target).
+std::vector<ScenarioOutcome> run_whatif_grid(const ScenarioSpec& spec,
+                                             const std::vector<std::string>& schedulers,
+                                             double switch_at_s, bool share_prefix,
+                                             const ScenarioRunOptions& opts = {},
+                                             const SweepOptions& sweep = {});
+
+}  // namespace mps

@@ -1,8 +1,10 @@
 #include "exp/streaming.h"
 
+#include <cassert>
 #include <memory>
 
 #include "app/http.h"
+#include "exp/snapshot.h"
 #include "exp/testbed.h"
 #include "obs/recorder.h"
 #include "sched/registry.h"
@@ -18,106 +20,184 @@ Duration run_cap(Duration video) { return video * std::int64_t{30} + Duration::s
 
 }  // namespace
 
-StreamingResult run_streaming(const StreamingParams& params) {
-  TestbedConfig tb;
-  if (params.use_path_overrides) {
-    tb.wifi = params.wifi_override;
-    tb.lte = params.lte_override;
-  } else {
-    tb.wifi = wifi_profile(Rate::mbps(params.wifi_mbps));
-    tb.lte = lte_profile(Rate::mbps(params.lte_mbps));
-  }
-  tb.subflows_per_path = params.subflows_per_path;
-  tb.seed = params.seed;
-
+StreamingRun::StreamingRun(const StreamingParams& params) : params_(params) {
   // Flight recorder: use the caller's if given, otherwise own one when the
   // CWND/send-buffer series are requested (they are read back from the
   // metrics registry).
-  std::unique_ptr<FlightRecorder> owned_rec;
-  FlightRecorder* rec = params.recorder;
-  if (rec == nullptr && params.collect_traces) {
-    owned_rec = std::make_unique<FlightRecorder>();
-    rec = owned_rec.get();
+  rec_ = params_.recorder;
+  if (rec_ == nullptr && params_.collect_traces) {
+    owned_rec_ = std::make_unique<FlightRecorder>();
+    rec_ = owned_rec_.get();
   }
-  if (rec != nullptr && params.collect_traces) rec->metrics().set_keep_series(true);
-  tb.recorder = rec;
-  tb.conn.cc = params.cc;
-  tb.conn.idle_cwnd_reset = params.idle_cwnd_reset;
-  tb.conn.opportunistic_retransmission = params.opportunistic_rtx;
-  tb.conn.penalization = params.penalization;
-  if (params.staging_bytes > 0) tb.conn.subflow_staging_bytes = params.staging_bytes;
+  construct(/*fork_shell=*/false);
+}
 
-  Testbed bed(tb);
-  auto conn = bed.make_connection(params.scheduler_override
-                                      ? params.scheduler_override
-                                      : scheduler_factory(params.scheduler));
-  HttpExchange http(bed.sim(), *conn, bed.request_delay());
+StreamingRun::StreamingRun(const StreamingRun& src, ForkTag) : params_(src.params_) {
+  // The fork owns a private clone of the source's recorder, seeded before
+  // construction so the fork's instrument handles resolve into the copied
+  // storage index-for-index.
+  if (src.rec_ != nullptr) {
+    owned_rec_ = std::make_unique<FlightRecorder>();
+    owned_rec_->clone_from(*src.rec_);
+    rec_ = owned_rec_.get();
+  }
+  construct(/*fork_shell=*/true);
+  snapshot::require_construction_event_free(sim(), "StreamingRun::fork");
+  bed_->world().restore_from(src.bed_->world());
+  conn_->restore_from(*src.conn_);
+  http_->restore_from(*src.http_);
+  session_->restore_from(*src.session_);
+  if (wifi_sched_ != nullptr) wifi_sched_->restore_from(*src.wifi_sched_);
+  if (lte_sched_ != nullptr) lte_sched_->restore_from(*src.lte_sched_);
+  if (buf_wifi_ != nullptr) buf_wifi_->restore_from(*src.buf_wifi_);
+  if (buf_lte_ != nullptr) buf_lte_->restore_from(*src.buf_lte_);
+  started_ = src.started_;
+  done_ = src.done_;
+  if (started_ && params_.heartbeat.enabled()) {
+    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
+  }
+  if (rec_ != nullptr) rec_->restore_data_from(*src.rec_);
+  snapshot::require_fully_rebound(sim(), "StreamingRun::fork");
+}
+
+StreamingRun::~StreamingRun() = default;
+
+void StreamingRun::construct(bool fork_shell) {
+  cap_ = TimePoint::origin() + run_cap(params_.video);
+
+  TestbedConfig tb;
+  if (params_.use_path_overrides) {
+    tb.wifi = params_.wifi_override;
+    tb.lte = params_.lte_override;
+  } else {
+    tb.wifi = wifi_profile(Rate::mbps(params_.wifi_mbps));
+    tb.lte = lte_profile(Rate::mbps(params_.lte_mbps));
+  }
+  tb.subflows_per_path = params_.subflows_per_path;
+  tb.seed = params_.seed;
+  if (rec_ != nullptr && params_.collect_traces) rec_->metrics().set_keep_series(true);
+  tb.recorder = rec_;
+  tb.conn.cc = params_.cc;
+  tb.conn.idle_cwnd_reset = params_.idle_cwnd_reset;
+  tb.conn.opportunistic_retransmission = params_.opportunistic_rtx;
+  tb.conn.penalization = params_.penalization;
+  if (params_.staging_bytes > 0) tb.conn.subflow_staging_bytes = params_.staging_bytes;
+
+  bed_ = std::make_unique<Testbed>(tb);
+  conn_ = bed_->make_connection(params_.scheduler_override
+                                    ? params_.scheduler_override
+                                    : scheduler_factory(params_.scheduler));
+  http_ = std::make_unique<HttpExchange>(bed_->sim(), *conn_, bed_->request_delay());
 
   DashConfig dc;
-  dc.video_duration = params.video;
-  dc.abr = params.abr;
-  DashSession session(bed.sim(), http, dc);
+  dc.video_duration = params_.video;
+  dc.abr = params_.abr;
+  session_ = std::make_unique<DashSession>(bed_->sim(), *http_, dc);
 
-  // Optional time-varying bandwidth.
-  std::unique_ptr<BandwidthSchedule> wifi_sched, lte_sched;
-  if (!params.wifi_trace.empty()) {
-    wifi_sched = std::make_unique<BandwidthSchedule>(bed.sim(), bed.wifi(), params.wifi_trace);
-    wifi_sched->start();
+  // Optional time-varying bandwidth. A fork shell constructs the schedules
+  // but leaves them idle; restore_from adopts the source's pending event.
+  if (!params_.wifi_trace.empty()) {
+    wifi_sched_ =
+        std::make_unique<BandwidthSchedule>(bed_->sim(), bed_->wifi(), params_.wifi_trace);
+    if (!fork_shell) wifi_sched_->start();
   }
-  if (!params.lte_trace.empty()) {
-    lte_sched = std::make_unique<BandwidthSchedule>(bed.sim(), bed.lte(), params.lte_trace);
-    lte_sched->start();
+  if (!params_.lte_trace.empty()) {
+    lte_sched_ =
+        std::make_unique<BandwidthSchedule>(bed_->sim(), bed_->lte(), params_.lte_trace);
+    if (!fork_shell) lte_sched_->start();
   }
 
   // Trace collectors (paper Figs. 3, 11, 12). The CWND series come straight
   // from the flight recorder's "subflow.cwnd" gauge history; the send-buffer
   // occupancy still uses a periodic sampler, bounded by the run cap so the
-  // drain-style Simulator::run() terminates.
+  // drain-style Simulator::run() terminates. Fork shells defer the initial
+  // tick; the source's samples arrive via restore_from.
   const std::size_t wifi_idx = 0;
-  const std::size_t lte_idx = static_cast<std::size_t>(params.subflows_per_path);
-  auto& subflows = conn->subflows();
-  std::unique_ptr<PeriodicSampler> buf_wifi, buf_lte;
-  if (params.collect_traces) {
-    const TimePoint sample_until = TimePoint::origin() + run_cap(params.video);
-    buf_wifi = std::make_unique<PeriodicSampler>(
-        bed.sim(), Duration::millis(100),
-        [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
-        sample_until);
-    buf_lte = std::make_unique<PeriodicSampler>(
-        bed.sim(), Duration::millis(100),
-        [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
-        sample_until);
+  const std::size_t lte_idx = static_cast<std::size_t>(params_.subflows_per_path);
+  auto& subflows = conn_->subflows();
+  if (params_.collect_traces) {
+    const TimePoint sample_until = cap_;
+    if (fork_shell) {
+      buf_wifi_ = std::make_unique<PeriodicSampler>(
+          PeriodicSampler::deferred_t{}, bed_->sim(), Duration::millis(100),
+          [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
+          sample_until);
+      buf_lte_ = std::make_unique<PeriodicSampler>(
+          PeriodicSampler::deferred_t{}, bed_->sim(), Duration::millis(100),
+          [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
+          sample_until);
+    } else {
+      buf_wifi_ = std::make_unique<PeriodicSampler>(
+          bed_->sim(), Duration::millis(100),
+          [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
+          sample_until);
+      buf_lte_ = std::make_unique<PeriodicSampler>(
+          bed_->sim(), Duration::millis(100),
+          [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
+          sample_until);
+    }
   }
 
-  session.on_finished = [&bed] { bed.sim().request_stop(); };
-  session.start();
-  if (params.heartbeat.enabled()) {
-    bed.sim().set_heartbeat(params.heartbeat.interval_s, params.heartbeat.fn);
+  session_->on_finished = [this] {
+    done_ = true;
+    bed_->sim().request_stop();
+  };
+}
+
+Simulator& StreamingRun::sim() { return bed_->sim(); }
+
+void StreamingRun::start() {
+  assert(!started_);
+  started_ = true;
+  session_->start();
+  if (params_.heartbeat.enabled()) {
+    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
   }
-  bed.sim().run_until(TimePoint::origin() + run_cap(params.video));
-  if (params.telemetry != nullptr) {
-    params.telemetry->events += bed.sim().events_processed();
-    params.telemetry->sim_s += (bed.sim().now() - TimePoint::origin()).to_seconds();
+}
+
+void StreamingRun::run_to(TimePoint t) {
+  if (done_) return;
+  bed_->sim().run_until(t < cap_ ? t : cap_);
+}
+
+std::unique_ptr<StreamingRun> StreamingRun::fork() const {
+  return std::unique_ptr<StreamingRun>(new StreamingRun(*this, ForkTag{}));
+}
+
+void StreamingRun::set_scheduler(const SchedulerFactory& factory) {
+  conn_->set_scheduler(factory());
+}
+
+StreamingResult StreamingRun::finish() {
+  if (!done_) bed_->sim().run_until(cap_);
+  if (params_.telemetry != nullptr) {
+    params_.telemetry->events += bed_->sim().events_processed();
+    params_.telemetry->sim_s += (bed_->sim().now() - TimePoint::origin()).to_seconds();
   }
 
   // --- collect --------------------------------------------------------------
   StreamingResult res;
-  res.mean_bitrate_mbps = session.mean_bitrate_mbps();
-  res.mean_throughput_mbps = session.mean_throughput_mbps();
-  res.rebuffer_time = session.rebuffer_time();
-  res.chunks_fetched = static_cast<int>(session.chunks().size());
-  res.chunks = session.chunks();
-  res.ooo_delay = conn->ooo_delay();
-  for (const auto& c : session.chunks()) {
+  res.mean_bitrate_mbps = session_->mean_bitrate_mbps();
+  res.mean_throughput_mbps = session_->mean_throughput_mbps();
+  res.rebuffer_time = session_->rebuffer_time();
+  res.chunks_fetched = static_cast<int>(session_->chunks().size());
+  res.chunks = session_->chunks();
+  res.ooo_delay = conn_->ooo_delay();
+  for (const auto& c : session_->chunks()) {
     if (c.last_packet_gap_s >= 0.0) res.last_packet_gap.add(c.last_packet_gap_s);
   }
 
-  const double wifi_mbps =
-      params.use_path_overrides ? params.wifi_override.down_rate.to_mbps() : params.wifi_mbps;
-  const double lte_mbps =
-      params.use_path_overrides ? params.lte_override.down_rate.to_mbps() : params.lte_mbps;
+  const double wifi_mbps = params_.use_path_overrides
+                               ? params_.wifi_override.down_rate.to_mbps()
+                               : params_.wifi_mbps;
+  const double lte_mbps = params_.use_path_overrides
+                              ? params_.lte_override.down_rate.to_mbps()
+                              : params_.lte_mbps;
   const bool lte_fast = lte_mbps > wifi_mbps;  // tie -> WiFi (smaller base RTT)
 
+  const std::size_t wifi_idx = 0;
+  const std::size_t lte_idx = static_cast<std::size_t>(params_.subflows_per_path);
+  auto& subflows = conn_->subflows();
   std::uint64_t bytes_wifi = 0, bytes_lte = 0;
   RunningStats rtt_wifi, rtt_lte;
   for (std::size_t i = 0; i < subflows.size(); ++i) {
@@ -136,25 +216,31 @@ StreamingResult run_streaming(const StreamingParams& params) {
   const std::uint64_t total = bytes_wifi + bytes_lte;
   const std::uint64_t fast_bytes = lte_fast ? bytes_lte : bytes_wifi;
   res.fraction_fast = total > 0 ? static_cast<double>(fast_bytes) / total : 0.0;
-  res.reinjections = conn->meta_stats().reinjections;
+  res.reinjections = conn_->meta_stats().reinjections;
   res.mean_rtt_wifi_ms = rtt_wifi.mean() * 1e3;
   res.mean_rtt_lte_ms = rtt_lte.mean() * 1e3;
 
-  if (params.collect_traces) {
+  if (params_.collect_traces) {
     MetricLabels labels;
-    labels.conn = static_cast<std::int64_t>(conn->config().conn_id);
+    labels.conn = static_cast<std::int64_t>(conn_->config().conn_id);
     labels.subflow = static_cast<std::int64_t>(wifi_idx);
-    if (const TimeSeries* s = rec->metrics().series("subflow.cwnd", labels)) {
+    if (const TimeSeries* s = rec_->metrics().series("subflow.cwnd", labels)) {
       res.cwnd_wifi = *s;
     }
     labels.subflow = static_cast<std::int64_t>(lte_idx);
-    if (const TimeSeries* s = rec->metrics().series("subflow.cwnd", labels)) {
+    if (const TimeSeries* s = rec_->metrics().series("subflow.cwnd", labels)) {
       res.cwnd_lte = *s;
     }
-    res.sndbuf_wifi = buf_wifi->series();
-    res.sndbuf_lte = buf_lte->series();
+    res.sndbuf_wifi = buf_wifi_->series();
+    res.sndbuf_lte = buf_lte_->series();
   }
   return res;
+}
+
+StreamingResult run_streaming(const StreamingParams& params) {
+  StreamingRun run(params);
+  run.start();
+  return run.finish();
 }
 
 StreamingResult run_streaming_avg(StreamingParams params, int runs) {

@@ -2,6 +2,7 @@
 // the observables the paper's streaming figures need.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 namespace mps {
 
 class FlightRecorder;
+class PeriodicSampler;
+class Testbed;
 
 struct StreamingParams {
   double wifi_mbps = 8.6;
@@ -74,6 +77,58 @@ struct StreamingResult {
   // Average measured RTT per path (paper Table 2).
   double mean_rtt_wifi_ms = 0.0;
   double mean_rtt_lte_ms = 0.0;
+};
+
+// One streaming run held as an object so it can be paused mid-simulation and
+// forked (exp/snapshot.h). run_streaming() is construct + start + finish;
+// the snapshot paths insert run_to()/fork() between start and finish.
+class StreamingRun {
+ public:
+  explicit StreamingRun(const StreamingParams& params);
+  ~StreamingRun();
+  StreamingRun(const StreamingRun&) = delete;
+  StreamingRun& operator=(const StreamingRun&) = delete;
+
+  // Schedules the session's first fetch and attaches the heartbeat. Call
+  // once, before run_to()/finish().
+  void start();
+  // Advances the simulation to absolute time `t` (clamped to the safety
+  // cap); no-op once the session has finished.
+  void run_to(TimePoint t);
+  bool done() const { return done_; }
+  Simulator& sim();
+  FlightRecorder* recorder() const { return rec_; }
+  Connection& connection() { return *conn_; }
+
+  // Forks this run at the current simulation time: an independent copy with
+  // its own world, event queue, and recorder clone, bit-identical from here
+  // on. Source and fork may both continue; either may be discarded.
+  std::unique_ptr<StreamingRun> fork() const;
+
+  // What-if divergence: replaces the connection's scheduler (takes effect at
+  // the next pick).
+  void set_scheduler(const SchedulerFactory& factory);
+
+  // Runs to completion (or the safety cap) and gathers the result.
+  StreamingResult finish();
+
+ private:
+  struct ForkTag {};
+  StreamingRun(const StreamingRun& src, ForkTag);
+  void construct(bool fork_shell);
+
+  StreamingParams params_;
+  TimePoint cap_;
+  std::unique_ptr<FlightRecorder> owned_rec_;
+  FlightRecorder* rec_ = nullptr;
+  std::unique_ptr<Testbed> bed_;
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<HttpExchange> http_;
+  std::unique_ptr<DashSession> session_;
+  std::unique_ptr<BandwidthSchedule> wifi_sched_, lte_sched_;
+  std::unique_ptr<PeriodicSampler> buf_wifi_, buf_lte_;
+  bool started_ = false;
+  bool done_ = false;
 };
 
 StreamingResult run_streaming(const StreamingParams& params);

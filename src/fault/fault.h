@@ -88,6 +88,11 @@ class FaultModel {
   virtual Duration extra_delay(TimePoint now, Rng& rng);
 
   virtual const char* name() const = 0;
+
+  // Snapshot support: copies mutable model state from `src`, which must be a
+  // model built from the same FaultConfig (same concrete type and layout).
+  // Stateless models inherit the no-op.
+  virtual void restore_from(const FaultModel& src) { (void)src; }
 };
 
 class GilbertElliottLoss final : public FaultModel {
@@ -96,6 +101,9 @@ class GilbertElliottLoss final : public FaultModel {
   bool should_drop(TimePoint now, Rng& rng) override;
   const char* name() const override { return "gilbert_elliott"; }
   bool in_bad_state() const { return bad_; }
+  void restore_from(const FaultModel& src) override {
+    bad_ = static_cast<const GilbertElliottLoss&>(src).bad_;
+  }
 
  private:
   GilbertElliottConfig config_;
@@ -137,6 +145,12 @@ class CompositeFault final : public FaultModel {
   bool should_drop(TimePoint now, Rng& rng) override;
   Duration extra_delay(TimePoint now, Rng& rng) override;
   const char* name() const override { return "composite"; }
+  void restore_from(const FaultModel& src) override {
+    const auto& other = static_cast<const CompositeFault&>(src);
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      models_[i]->restore_from(*other.models_[i]);
+    }
+  }
 
  private:
   std::vector<std::unique_ptr<FaultModel>> models_;

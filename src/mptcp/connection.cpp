@@ -196,10 +196,12 @@ void Connection::on_rwnd_update(std::uint64_t rwnd) { rwnd_ = rwnd; }
 void Connection::notify_sendable() {
   if (!on_sendable || sendable_post_pending_ || sndbuf_free() == 0) return;
   sendable_post_pending_ = true;
-  sendable_post_id_ = sim_.post([this] {
-    sendable_post_pending_ = false;
-    if (on_sendable && sndbuf_free() > 0) on_sendable();
-  });
+  sendable_post_id_ = sim_.post([this] { fire_sendable(); });
+}
+
+void Connection::fire_sendable() {
+  sendable_post_pending_ = false;
+  if (on_sendable && sndbuf_free() > 0) on_sendable();
 }
 
 void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
@@ -319,12 +321,64 @@ void Connection::flush_deliveries() {
   pending_deliver_when_ = sim_.now();
   // Deferred so application reactions (next GET, more send()) run outside
   // the packet-processing call stack.
-  deliver_post_id_ = sim_.post([this] {
-    deliver_post_pending_ = false;
-    const std::uint64_t bytes = pending_deliver_bytes_;
-    pending_deliver_bytes_ = 0;
-    if (on_deliver && bytes > 0) on_deliver(bytes, pending_deliver_when_);
-  });
+  deliver_post_id_ = sim_.post([this] { fire_deliveries(); });
+}
+
+void Connection::fire_deliveries() {
+  deliver_post_pending_ = false;
+  const std::uint64_t bytes = pending_deliver_bytes_;
+  pending_deliver_bytes_ = 0;
+  if (on_deliver && bytes > 0) on_deliver(bytes, pending_deliver_when_);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot support
+
+void Connection::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  assert(scheduler != nullptr);
+  scheduler_ = std::move(scheduler);
+  scheduler_->bind(sim_, config_.conn_id);
+}
+
+void Connection::restore_from(const Connection& src) {
+  // Sender state.
+  send_queue_bytes_ = src.send_queue_bytes_;
+  next_data_seq_ = src.next_data_seq_;
+  data_una_ = src.data_una_;
+  rwnd_ = src.rwnd_;
+  last_reinjected_seq_ = src.last_reinjected_seq_;
+  sendable_post_pending_ = src.sendable_post_pending_;
+  sendable_post_id_ = src.sendable_post_id_;
+  if (sendable_post_pending_) {
+    sim_.rebind(sendable_post_id_, [this] { fire_sendable(); });
+  }
+
+  // Receiver state.
+  rcv_data_next_ = src.rcv_data_next_;
+  drs_window_ = src.drs_window_;
+  drs_mark_bytes_ = src.drs_mark_bytes_;
+  meta_ooo_ = src.meta_ooo_;
+  meta_ooo_bytes_ = src.meta_ooo_bytes_;
+  pending_deliver_bytes_ = src.pending_deliver_bytes_;
+  pending_deliver_when_ = src.pending_deliver_when_;
+  deliver_post_pending_ = src.deliver_post_pending_;
+  deliver_post_id_ = src.deliver_post_id_;
+  if (deliver_post_pending_) {
+    sim_.rebind(deliver_post_id_, [this] { fire_deliveries(); });
+  }
+
+  meta_stats_ = src.meta_stats_;
+  ooo_delay_ = src.ooo_delay_;
+  sndbuf_blocked_ = src.sndbuf_blocked_;
+  sndbuf_blocked_since_ = src.sndbuf_blocked_since_;
+
+  scheduler_->restore_from(*src.scheduler_);
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    subflows_[i]->restore_from(*src.subflows_[i]);
+  }
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    receivers_[i]->restore_from(*src.receivers_[i]);
+  }
 }
 
 }  // namespace mps

@@ -129,6 +129,18 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   std::uint64_t delivered_bytes() const { return meta_stats_.delivered_bytes; }
   Scheduler& scheduler() { return *scheduler_; }
 
+  // Replaces the scheduler mid-connection (what-if divergence after a
+  // snapshot fork; exp/snapshot.h). The new scheduler starts from its
+  // initial state and takes effect at the next scheduling round.
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+
+  // Snapshot support: copies all meta-level sender/receiver state plus every
+  // subflow's, receiver's, and the scheduler's state from `src`, a
+  // connection built with an identical configuration over the fork's paths,
+  // and adopts src's pending deferred posts by EventId. The simulator's
+  // queue must already be structure-cloned.
+  void restore_from(const Connection& src);
+
   // --- invariant-checker inspection (check/invariants.h) ---------------------
   std::uint64_t next_data_seq() const { return next_data_seq_; }
   std::uint64_t data_una() const { return data_una_; }
@@ -164,6 +176,10 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   void try_opportunistic_retransmit();
   void flush_deliveries();
   void notify_sendable();
+  // Deferred-post bodies, named so restore_from can rebind the cloned posts
+  // to byte-identical behavior.
+  void fire_sendable();
+  void fire_deliveries();
 
   Simulator& sim_;
   ConnectionConfig config_;

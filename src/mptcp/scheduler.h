@@ -51,6 +51,14 @@ class Scheduler {
   // Clears per-connection state (a fresh connection reuses the object).
   virtual void reset() {}
 
+  // Snapshot support (exp/snapshot.h): copies mutable scheduling state from
+  // `src`, which must be the same concrete type. Stateful schedulers (ECF's
+  // waiting flag, BLEST's lambda, DAPS's plan, round-robin's cursor)
+  // override and chain up; wiring done by bind() is left untouched.
+  virtual void restore_from(const Scheduler& src) {
+    last_terms_pick_ = src.last_terms_pick_;
+  }
+
   // --- decision tracing (Explain) -------------------------------------------
   // Connection calls this at construction, wiring the scheduler to the
   // simulator clock and its flight recorder (if one was attached to the

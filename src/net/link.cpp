@@ -74,9 +74,11 @@ void Link::start_transmission() {
     // A zero-rate link parks the packet until the rate is raised again; we
     // model this by polling on a coarse timer so rate changes do not need to
     // know about parked packets.
+    tx_parked_ = true;
     tx_timer_.schedule_after(Duration::millis(100), [this] { start_transmission(); });
     return;
   }
+  tx_parked_ = false;
   obs_.busy_ns.inc(static_cast<std::uint64_t>(tx.ns()));
   tx_timer_.schedule_after(tx, [this] { finish_transmission(); });
 }
@@ -113,9 +115,40 @@ void Link::finish_transmission() {
   // Callback's inline buffer — no per-packet allocation (see packet_pool.h).
   Packet* slot = prop_pool_.acquire();
   *slot = delivered;
-  sim_.after(prop, [this, slot] {
+  slot->prop_event = sim_.after(prop, [this, slot] {
     if (deliver_) deliver_(*slot);
     prop_pool_.release(slot);
+  });
+}
+
+void Link::restore_from(const Link& src) {
+  config_ = src.config_;
+  rng_ = src.rng_;
+  if (fault_ != nullptr && src.fault_ != nullptr) fault_->restore_from(*src.fault_);
+  queue_ = src.queue_;
+  busy_ = src.busy_;
+  in_service_ = src.in_service_;
+  stats_ = src.stats_;
+  tx_parked_ = src.tx_parked_;
+  if (src.tx_timer_.pending()) {
+    if (tx_parked_) {
+      tx_timer_.clone_from(src.tx_timer_, [this] { start_transmission(); });
+    } else {
+      tx_timer_.clone_from(src.tx_timer_, [this] { finish_transmission(); });
+    }
+  }
+  // In-propagation packets: mirror each live slot of src's pool into ours and
+  // adopt the cloned delivery event. Pool layout may differ from src's (slots
+  // are acquired fresh here), which is behavior-neutral: identity lives in
+  // the EventId, not the slot address.
+  src.prop_pool_.for_each_slot([this](const Packet& p) {
+    if (p.prop_event == 0) return;
+    Packet* slot = prop_pool_.acquire();
+    *slot = p;
+    sim_.rebind(p.prop_event, [this, slot] {
+      if (deliver_) deliver_(*slot);
+      prop_pool_.release(slot);
+    });
   });
 }
 

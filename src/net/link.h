@@ -85,6 +85,13 @@ class Link {
     return config_.rate.transmit_time(bytes);
   }
 
+  // Snapshot support (exp/snapshot.h): copies `src`'s dynamic state — queue,
+  // in-service packet, stats, RNG, fault-model state — and adopts its pending
+  // events (serializer timer, every in-propagation delivery) by EventId. The
+  // simulator's queue must already be structure-cloned from src's; deliver_
+  // is left alone (the fork's mux installed its own at attach time).
+  void restore_from(const Link& src);
+
  private:
   void start_transmission();
   void finish_transmission();
@@ -100,6 +107,11 @@ class Link {
   bool busy_ = false;
   Packet in_service_;
   Timer tx_timer_;
+  // Which callback tx_timer_ holds: true = parked zero-rate poll
+  // (start_transmission), false = serialization end (finish_transmission).
+  // Cannot be inferred from the rate — it may change while parked — and
+  // restore_from() needs it to rebuild the right closure.
+  bool tx_parked_ = false;
   // Packets in their propagation stage; slots recycle as deliveries fire.
   PacketPool prop_pool_;
   LinkStats stats_;

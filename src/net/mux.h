@@ -49,6 +49,13 @@ class Mux {
   // so routed + orphans equals the links' delivered totals.
   std::uint64_t routed_count() const { return routed_; }
 
+  // Snapshot support: copies the counters only. Routes are re-registered by
+  // the fork's own connections at their construction time.
+  void restore_from(const Mux& src) {
+    orphans_ = src.orphans_;
+    routed_ = src.routed_;
+  }
+
  private:
   std::unordered_map<std::uint32_t, Handler> routes_;
   std::uint64_t orphans_ = 0;

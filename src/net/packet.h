@@ -51,6 +51,10 @@ struct Packet {
   // --- bookkeeping ---------------------------------------------------------
   bool retransmit = false;
   std::uint64_t transmit_seq = 0;  // global order stamp for traces
+  // Pending delivery event while the packet sits in a link's propagation
+  // pool (EventId; 0 = not in propagation). Lets snapshot forks enumerate
+  // in-flight packets and re-bind their arrival events (exp/snapshot.h).
+  std::uint64_t prop_event = 0;
 
   std::uint32_t wire_size() const { return is_ack ? kAckBytes : payload + kHeaderBytes; }
 };

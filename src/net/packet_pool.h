@@ -27,11 +27,24 @@ class PacketPool {
     return p;
   }
 
-  void release(Packet* p) { free_.push_back(p); }
+  void release(Packet* p) {
+    p->prop_event = 0;  // free slots must not look in-flight to snapshot scans
+    free_.push_back(p);
+  }
 
   // Total slots ever created (diagnostics; equals the in-propagation
   // high-water rounded up to a chunk).
   std::size_t capacity() const { return chunks_.size() * kChunkPackets; }
+
+  // Visits every slot, live and free; callers distinguish in-flight packets
+  // by prop_event != 0 (snapshot forks enumerate a link's propagation stage
+  // this way — the pool keeps no per-slot liveness bit of its own).
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (const auto& chunk : chunks_) {
+      for (std::size_t i = 0; i < kChunkPackets; ++i) fn(chunk[i]);
+    }
+  }
 
  private:
   static constexpr std::size_t kChunkPackets = 32;

@@ -46,6 +46,13 @@ class Path {
   void set_down_rate(Rate rate) { down_.set_rate(rate); }
   Rate down_rate() const { return down_.rate(); }
 
+  // Snapshot support: restores both links' dynamic state from `src`, a path
+  // built from the same PathConfig (exp/snapshot.h).
+  void restore_from(const Path& src) {
+    down_.restore_from(src.down_);
+    up_.restore_from(src.up_);
+  }
+
  private:
   PathConfig config_;
   Link down_;

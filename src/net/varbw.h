@@ -30,6 +30,19 @@ class BandwidthSchedule {
 
   const std::vector<RateChange>& changes() const { return changes_; }
 
+  // Snapshot support (exp/snapshot.h): adopts `src`'s schedule position and
+  // pending apply event. Both schedules must hold the identical changes
+  // vector; call after the simulator's event queue has been cloned.
+  void restore_from(const BandwidthSchedule& src) {
+    start_time_ = src.start_time_;
+    next_ = src.next_;
+    timer_.clone_from(src.timer_, [this] {
+      path_.set_down_rate(changes_[next_].rate);
+      ++next_;
+      apply_next();
+    });
+  }
+
  private:
   void apply_next();
 

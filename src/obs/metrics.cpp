@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/prof.h"
 
@@ -89,6 +90,49 @@ std::uint64_t MetricsRegistry::total(std::string_view name) const {
     if (inst.kind == InstrumentKind::kCounter && inst.name == name) sum += inst.count;
   }
   return sum;
+}
+
+void MetricsRegistry::restore_data_from(const MetricsRegistry& src) {
+  if (instruments_.size() != src.instruments_.size()) {
+    throw std::logic_error("MetricsRegistry::restore_data_from: registries not isomorphic");
+  }
+  auto it = instruments_.begin();
+  auto sit = src.instruments_.begin();
+  for (; it != instruments_.end(); ++it, ++sit) {
+    if (it->name != sit->name || !(it->labels == sit->labels) || it->kind != sit->kind) {
+      throw std::logic_error("MetricsRegistry::restore_data_from: instrument mismatch");
+    }
+    it->count = sit->count;
+    it->value = sit->value;
+    it->hist = sit->hist;
+    it->series = sit->series;
+    it->keep_series = sit->keep_series;
+  }
+}
+
+bool MetricsRegistry::data_equals(const MetricsRegistry& other) const {
+  if (instruments_.size() != other.instruments_.size()) return false;
+  auto it = instruments_.begin();
+  auto ot = other.instruments_.begin();
+  for (; it != instruments_.end(); ++it, ++ot) {
+    if (it->name != ot->name || !(it->labels == ot->labels) || it->kind != ot->kind) {
+      return false;
+    }
+    if (it->count != ot->count || it->value != ot->value) return false;
+    const HistogramData& a = it->hist;
+    const HistogramData& b = ot->hist;
+    if (a.count != b.count || a.sum != b.sum || a.min != b.min || a.max != b.max ||
+        a.buckets != b.buckets) {
+      return false;
+    }
+    const auto& ap = it->series.points();
+    const auto& bp = ot->series.points();
+    if (ap.size() != bp.size()) return false;
+    for (std::size_t i = 0; i < ap.size(); ++i) {
+      if (!(ap[i].t == bp[i].t) || ap[i].value != bp[i].value) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace mps

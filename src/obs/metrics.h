@@ -129,6 +129,26 @@ class MetricsRegistry {
 
   const std::deque<Instrument>& instruments() const { return instruments_; }
   const Instrument* find(std::string_view name, const MetricLabels& labels) const;
+
+  // --- snapshot-and-fork support (exp/snapshot.h) ---------------------------
+  // Wholesale copy of `src`'s instruments. Seeds a fork's registry *before*
+  // its model objects are constructed: get_or_create then resolves each
+  // (name, labels, kind) to the copied storage, so handles land on
+  // instruments holding the source's data, index-for-index.
+  void clone_from(const MetricsRegistry& src) {
+    instruments_ = src.instruments_;
+    keep_series_ = src.keep_series_;
+  }
+  // Re-copies every instrument's data (count, value, histogram, series) from
+  // `src` by index, undoing mutations done during fork-time construction
+  // (e.g. Subflow's constructor publishing its initial cwnd). Registries
+  // must be isomorphic — same instruments in the same order — which holds
+  // when the fork repeated the source's construction sequence.
+  void restore_data_from(const MetricsRegistry& src);
+  // True when `other` holds the same instruments (name/labels/kind, in
+  // order) with identical recorded data — the fork-vs-scratch equivalence
+  // check the snapshot tests assert.
+  bool data_equals(const MetricsRegistry& other) const;
   // Gauge history for an instrument, or nullptr when absent/not kept.
   const TimeSeries* series(std::string_view name, const MetricLabels& labels) const;
   // Sum of a counter over all label sets (e.g. total retransmits).

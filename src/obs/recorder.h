@@ -73,6 +73,8 @@ class FlightRecorder {
     std::uint64_t picks = 0;
     std::uint64_t waits = 0;
     std::map<std::int64_t, std::uint64_t> picks_by_subflow;
+
+    friend bool operator==(const DecisionCounts&, const DecisionCounts&) = default;
   };
   // Aggregated per (scheduler name, conn id).
   const std::map<std::pair<std::string, std::int64_t>, DecisionCounts>& decision_counts()
@@ -81,6 +83,45 @@ class FlightRecorder {
   }
   std::uint64_t total_picks() const;
   std::uint64_t total_waits() const;
+
+  // --- snapshot-and-fork support (exp/snapshot.h) ---------------------------
+  // Copies `src`'s whole state — metrics, decision log and aggregates, event
+  // counter — and carries the borrowed sink pointer. Call *before* the fork's
+  // model objects register instruments, so their handles resolve into the
+  // copied storage. A fork that will run concurrently with other forks of
+  // the same source should set_event_sink(nullptr): the sink is shared,
+  // unsynchronized state.
+  void clone_from(const FlightRecorder& src) {
+    metrics_.clone_from(src.metrics_);
+    sink_ = src.sink_;
+    events_recorded_ = src.events_recorded_;
+    keep_decisions_ = src.keep_decisions_;
+    decisions_ = src.decisions_;
+    decision_counts_ = src.decision_counts_;
+  }
+
+  // Re-copies recorded data from an isomorphic recorder (same instruments in
+  // the same order). Used twice per fork: after fork-time construction to
+  // undo constructor-time instrument writes, and at collect time to publish a
+  // finished fork's data back into a caller-supplied recorder.
+  void restore_data_from(const FlightRecorder& src) {
+    metrics_.restore_data_from(src.metrics_);
+    events_recorded_ = src.events_recorded_;
+    keep_decisions_ = src.keep_decisions_;
+    decisions_ = src.decisions_;
+    decision_counts_ = src.decision_counts_;
+  }
+
+  // True when `other` recorded the same observable data: identical metrics
+  // (instruments and values), event count, and decision aggregates. The
+  // fork-vs-scratch tests assert this between a forked run's recorder and a
+  // from-scratch run's.
+  bool data_equals(const FlightRecorder& other) const {
+    return metrics_.data_equals(other.metrics_) &&
+           events_recorded_ == other.events_recorded_ &&
+           decisions_.size() == other.decisions_.size() &&
+           decision_counts_ == other.decision_counts_;
+  }
 
   // --- report ---------------------------------------------------------------
   void summarize(std::ostream& os) const;

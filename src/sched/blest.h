@@ -53,6 +53,13 @@ class BlestScheduler final : public Scheduler {
 
   double lambda() const { return lambda_; }
 
+  void restore_from(const Scheduler& src) override {
+    Scheduler::restore_from(src);
+    const auto& other = static_cast<const BlestScheduler&>(src);
+    lambda_ = other.lambda_;
+    last_stalls_ = other.last_stalls_;
+  }
+
  private:
   BlestConfig config_;
   double lambda_;

@@ -34,6 +34,13 @@ class DapsScheduler final : public Scheduler {
   // Exposed for tests: remaining planned slots.
   std::size_t plan_remaining() const { return plan_.size() - pos_; }
 
+  void restore_from(const Scheduler& src) override {
+    Scheduler::restore_from(src);
+    const auto& other = static_cast<const DapsScheduler&>(src);
+    plan_ = other.plan_;
+    pos_ = other.pos_;
+  }
+
  private:
   struct Slot {
     double departure;  // expected departure offset within the period

@@ -25,6 +25,11 @@ class RoundRobinScheduler final : public Scheduler {
   const char* name() const override { return "rr"; }
   void reset() override { next_ = 0; }
 
+  void restore_from(const Scheduler& src) override {
+    Scheduler::restore_from(src);
+    next_ = static_cast<const RoundRobinScheduler&>(src).next_;
+  }
+
  private:
   std::size_t next_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "obs/prof.h"
 
@@ -269,6 +270,52 @@ void EventQueue::release(std::uint32_t slot) {
   s.loc = Loc::kNone;
   ++s.generation;
   free_.push_back(slot);
+}
+
+void EventQueue::clone_structure_from(const EventQueue& src) {
+  slots_.clear();
+  slots_.resize(src.slots_.size());
+  for (std::size_t i = 0; i < src.slots_.size(); ++i) {
+    const Slot& from = src.slots_[i];
+    Slot& to = slots_[i];
+    to.when = from.when;
+    to.seq = from.seq;
+    to.generation = from.generation;
+    to.pos = from.pos;
+    to.loc = from.loc;
+    to.level = from.level;
+    to.bucket = from.bucket;
+    // to.fn stays empty until the owner rebinds it.
+  }
+  heap_ = src.heap_;
+  free_ = src.free_;
+  next_seq_ = src.next_seq_;
+  for (std::size_t i = 0; i < wheel_.size(); ++i) {
+    wheel_[i].items = src.wheel_[i].items;
+    wheel_[i].sorted = src.wheel_[i].sorted;
+  }
+  std::memcpy(occ_, src.occ_, sizeof(occ_));
+  cur_tick_ = src.cur_tick_;
+  wheel_count_ = src.wheel_count_;
+}
+
+bool EventQueue::rebind(EventId id, Callback fn) {
+  if (id == kInvalidEventId) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.generation != static_cast<std::uint32_t>(id >> 32) || s.loc == Loc::kNone) {
+    return false;
+  }
+  s.fn = std::move(fn);
+  return true;
+}
+
+void EventQueue::collect_unbound(std::vector<std::pair<EventId, TimePoint>>& out) const {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.loc != Loc::kNone && !s.fn) out.emplace_back(make_id(i, s.generation), s.when);
+  }
 }
 
 }  // namespace mps

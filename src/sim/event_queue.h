@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/callback.h"
@@ -68,6 +69,26 @@ class EventQueue {
   };
   // Pops and returns the earliest live event. Precondition: !empty().
   Fired pop();
+
+  // --- snapshot-and-fork support (exp/snapshot.h) ---------------------------
+  // Copies the entire queue structure from `src` — slot arena (when, seq,
+  // generation, position), heap order, wheel buckets, occupancy bitmaps and
+  // cursor — but leaves every callback empty. Closures capture raw owner
+  // pointers and cannot be relocated generically, so each owner of a pending
+  // event must re-install its callback with rebind() using the EventId it
+  // already holds; ids issued by `src` stay valid against this queue, and the
+  // global (when, seq) fire order is preserved verbatim. Any previous content
+  // of this queue is discarded.
+  void clone_structure_from(const EventQueue& src);
+
+  // Re-installs the callback of a live cloned event. Returns false when `id`
+  // does not name a live slot (fired, cancelled, or stale generation).
+  bool rebind(EventId id, Callback fn);
+
+  // Appends (id, when) for every live event whose callback is empty. After a
+  // fork's rebind pass this must find nothing: a leftover means some owner's
+  // pending event was never relocated and still points at the source world.
+  void collect_unbound(std::vector<std::pair<EventId, TimePoint>>& out) const;
 
  private:
   static constexpr std::uint32_t kNoPos = ~std::uint32_t{0};

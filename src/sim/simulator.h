@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/callback.h"
 #include "sim/event_queue.h"
@@ -106,6 +108,22 @@ class Simulator {
   void set_heartbeat(double interval_s, HeartbeatFn fn);
   bool heartbeat_attached() const { return heartbeat_ != nullptr; }
 
+  // --- snapshot-and-fork support (exp/snapshot.h) ---------------------------
+  // Copies the clock and pending-event structure from `src`. Every cloned
+  // event's callback is empty; owners must rebind() with the EventIds they
+  // hold before the loop runs. Only valid between runs (never re-entrantly).
+  void clone_events_from(const Simulator& src) {
+    queue_.clone_structure_from(src.queue_);
+    now_ = src.now_;
+    processed_ = src.processed_;
+  }
+  // Re-installs a cloned event's callback; false if `id` is not live.
+  bool rebind(EventId id, Callback fn) { return queue_.rebind(id, std::move(fn)); }
+  void collect_unbound_events(std::vector<std::pair<EventId, TimePoint>>& out) const {
+    queue_.collect_unbound(out);
+  }
+  std::size_t pending_events() const { return queue_.size(); }
+
  private:
   // Wall-clock polling cadence for the heartbeat, in events. At the kernel's
   // measured ~7M events/s this checks the clock a few thousand times per
@@ -168,6 +186,19 @@ class Timer {
 
   bool pending() const { return id_ != kInvalidEventId; }
   TimePoint deadline() const { return deadline_; }
+
+  // Snapshot support: adopt `src`'s pending event (same EventId) onto this
+  // timer, whose simulator's queue was structure-cloned from src's. `fn` is
+  // the owner's freshly built callback — the source's closure captures the
+  // source owner and cannot be reused.
+  void clone_from(const Timer& src, Callback fn) {
+    cancel();
+    if (src.id_ == kInvalidEventId) return;
+    id_ = src.id_;
+    deadline_ = src.deadline_;
+    fn_ = std::move(fn);
+    sim_.rebind(id_, [this] { fire(); });
+  }
 
  private:
   void fire() {

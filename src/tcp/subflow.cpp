@@ -565,4 +565,38 @@ void SubflowReceiver::send_ack(const Packet& trigger) {
   path_.up().send(ack);
 }
 
+void Subflow::restore_from(const Subflow& src) {
+  rtt_ = src.rtt_;
+  cwnd_ = src.cwnd_;
+  ssthresh_ = src.ssthresh_;
+  next_seq_ = src.next_seq_;
+  snd_una_ = src.snd_una_;
+  inflight_ = src.inflight_;
+  staged_ = src.staged_;
+  staged_bytes_ = src.staged_bytes_;
+  dupacks_ = src.dupacks_;
+  in_recovery_ = src.in_recovery_;
+  recover_point_ = src.recover_point_;
+  sack_high_ = src.sack_high_;
+  lost_not_rtx_ = src.lost_not_rtx_;
+  sacked_count_ = src.sacked_count_;
+  rto_backoff_ = src.rto_backoff_;
+  rack_delivered_ts_ = src.rack_delivered_ts_;
+  established_at_ = src.established_at_;
+  cwnd_full_at_send_ = src.cwnd_full_at_send_;
+  last_send_time_ = src.last_send_time_;
+  last_penalty_ = src.last_penalty_;
+  inter_loss_bytes_ = src.inter_loss_bytes_;
+  stats_ = src.stats_;
+  transmit_counter_ = src.transmit_counter_;
+  cc_->restore_from(*src.cc_);
+  // The timers hold fixed callbacks per owner (arm_rto / arm_rack_timer), so
+  // cloning re-creates the exact closures the source installed.
+  rto_timer_.clone_from(src.rto_timer_, [this] { on_rto_fire(); });
+  rack_timer_.clone_from(src.rack_timer_, [this] {
+    update_loss_marks();
+    pump_retransmissions();
+  });
+}
+
 }  // namespace mps

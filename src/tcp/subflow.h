@@ -210,6 +210,12 @@ class Subflow final {
   // segment this subflow still holds a copy of (in flight or staged).
   void collect_data_ranges(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const;
 
+  // Snapshot support (exp/snapshot.h): copies the whole sender state machine
+  // from `src` — scoreboard, staging queue, CWND/recovery/RTT/CC state,
+  // stats — and adopts src's pending RTO/RACK timers by EventId. The
+  // simulator's queue must already be structure-cloned from src's.
+  void restore_from(const Subflow& src);
+
  private:
   CongestionController::AckContext make_ctx() const;
   void set_cwnd(double cwnd);
@@ -344,6 +350,14 @@ class SubflowReceiver final {
   // (invariant: always > rcv_next()).
   std::uint64_t ooo_min_seq() const {
     return ooo_.empty() ? UINT64_MAX : ooo_.min_key();
+  }
+
+  // Snapshot support: copies the receive state from `src` (no pending events
+  // of its own — ACK emission is synchronous).
+  void restore_from(const SubflowReceiver& src) {
+    rcv_next_ = src.rcv_next_;
+    rcv_high_ = src.rcv_high_;
+    ooo_ = src.ooo_;
   }
 
  private:

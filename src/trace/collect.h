@@ -31,6 +31,11 @@ class CwndTracer {
 
   const TimeSeries& series() const { return series_; }
 
+  // Snapshot support (exp/snapshot.h): replaces the recorded series with
+  // `src`'s, discarding the initial point this tracer's own constructor
+  // added. The hook registration on the fork's subflow is kept.
+  void restore_from(const CwndTracer& src) { series_ = src.series_; }
+
  private:
   Subflow* sf_;
   Hook<TimePoint, double>::Id hook_id_{};
@@ -48,6 +53,22 @@ class PeriodicSampler {
                   TimePoint until = TimePoint::never())
       : sim_(sim), interval_(interval), until_(until), probe_(std::move(probe)), timer_(sim) {
     tick();
+  }
+
+  // Snapshot support (exp/snapshot.h): tag for constructing a sampler that
+  // takes no initial sample and schedules nothing — restore_from supplies
+  // the recorded points and the pending tick event.
+  struct deferred_t {};
+  PeriodicSampler(deferred_t, Simulator& sim, Duration interval, std::function<double()> probe,
+                  TimePoint until = TimePoint::never())
+      : sim_(sim), interval_(interval), until_(until), probe_(std::move(probe)), timer_(sim) {}
+
+  // Adopts `src`'s series, running flag, and pending tick. Call after the
+  // simulator's event queue has been cloned.
+  void restore_from(const PeriodicSampler& src) {
+    series_ = src.series_;
+    running_ = src.running_;
+    timer_.clone_from(src.timer_, [this] { tick(); });
   }
 
   // Stops future samples; already-recorded points are kept.

@@ -16,6 +16,11 @@ struct TrafficEngine::Flow {
   TrafficFlowRecord rec;
   std::unique_ptr<Connection> conn;
   std::unique_ptr<HttpExchange> http;
+  // Pending engine events for this flow (0 = none): the scheduled arrival
+  // and the deferred post-completion teardown. Tracked so the destructor can
+  // cancel them — their closures capture the engine — and forks can rebind.
+  EventId arrival_event = 0;
+  EventId end_event = 0;
 };
 
 TrafficEngine::TrafficEngine(World& world, const ScenarioSpec& spec)
@@ -30,7 +35,16 @@ TrafficEngine::TrafficEngine(World& world, const ScenarioSpec& spec)
   }
 }
 
-TrafficEngine::~TrafficEngine() = default;
+TrafficEngine::~TrafficEngine() {
+  // Cancel every pending event whose closure captures this engine: an engine
+  // destroyed mid-run (harness teardown, a fork discarded early) must not
+  // leave arrival / deferred-teardown / tick callbacks live in the queue.
+  for (auto& f : flows_) {
+    if (f->arrival_event != 0) world_.sim().cancel(f->arrival_event);
+    if (f->end_event != 0) world_.sim().cancel(f->end_event);
+  }
+  if (tick_event_ != 0) world_.sim().cancel(tick_event_);
+}
 
 namespace {
 
@@ -53,6 +67,7 @@ std::uint64_t draw_size(Rng& rng, const TrafficSpec& t) {
 void TrafficEngine::start_flow(std::size_t idx) {
   MPS_PROF_MEM_SCOPE(kConn);
   Flow& f = *flows_[idx];
+  f.arrival_event = 0;  // the arrival event just fired
   if (f.rec.cross) {
     f.conn = world_.make_connection_on({static_cast<std::size_t>(f.rec.cross_path)},
                                        scheduler_factory("default"));
@@ -80,6 +95,13 @@ void TrafficEngine::start_flow(std::size_t idx) {
   }
 }
 
+void TrafficEngine::install_done(std::size_t idx) {
+  flows_[idx]->http->set_outstanding_done(0, [this, idx](const ObjectResult& r) {
+    const double fct = (r.completed - base_).to_seconds() - flows_[idx]->rec.arrival_s;
+    finish_flow(idx, fct);
+  });
+}
+
 void TrafficEngine::finish_flow(std::size_t idx, double fct_s) {
   Flow& f = *flows_[idx];
   f.rec.completed = true;
@@ -90,11 +112,18 @@ void TrafficEngine::finish_flow(std::size_t idx, double fct_s) {
   // delivery callback chain would free the executing closure. By the time
   // the post fires, the stack has unwound; packets still in flight for the
   // dead conn_id become mux orphans.
-  world_.sim().post([this, idx] { end_flow(idx); });
+  f.end_event = world_.sim().post([this, idx] { end_flow(idx); });
 }
 
 void TrafficEngine::end_flow(std::size_t idx) {
   Flow& f = *flows_[idx];
+  // Cancel the deferred post when entered from teardown; when entered from
+  // the post itself the id is stale (the slot was freed on fire) and cancel
+  // is a generation-checked no-op.
+  if (f.end_event != 0) {
+    world_.sim().cancel(f.end_event);
+    f.end_event = 0;
+  }
   if (f.conn == nullptr) return;
   f.rec.delivered = f.conn->delivered_bytes();
   for (Subflow* sf : f.conn->subflows()) {
@@ -121,19 +150,42 @@ void TrafficEngine::end_flow(std::size_t idx) {
 }
 
 void TrafficEngine::schedule_tick(TimePoint at, TimePoint end) {
-  if (at >= end) return;
-  world_.sim().at(at, [this, at, end] {
+  if (at >= end) {
+    tick_event_ = 0;
+    return;
+  }
+  tick_at_ = at;
+  tick_end_ = end;
+  tick_event_ = world_.sim().at(at, [this, at, end] {
     if (on_tick) on_tick();
     schedule_tick(at + Duration::from_seconds(tick_s), end);
   });
 }
 
 TrafficResult TrafficEngine::run() {
+  start();
+  if (heartbeat != nullptr && heartbeat->enabled()) {
+    world_.sim().set_heartbeat(heartbeat->interval_s, heartbeat->fn);
+  }
+  const std::uint64_t events_before = world_.sim().events_processed();
+  world_.sim().run_until(end_);
+  if (world_.sim().heartbeat_attached()) world_.sim().set_heartbeat(0.0, nullptr);
+  if (telemetry != nullptr) {
+    telemetry->events += world_.sim().events_processed() - events_before;
+    telemetry->sim_s += (world_.sim().now() - base_).to_seconds();
+  }
+  ran_ = true;
+  finish();
+  return collect();
+}
+
+void TrafficEngine::start() {
   const TrafficSpec& t = spec_.traffic;
   base_ = world_.sim().now();
+  end_ = base_ + Duration::from_seconds(t.duration_s);
 
   // --- plan: every random draw happens here, before any sim event ---------
-  std::size_t churned = 0;
+  churned_ = 0;
   {
     MPS_PROF_SCOPE(kTrafficPlan);
     MPS_PROF_MEM_SCOPE(kTraffic);
@@ -150,11 +202,11 @@ TrafficResult TrafficEngine::run() {
 
     if (t.arrival_rate_per_s > 0.0) {
       double at = 0.0;
-      while (static_cast<std::int64_t>(churned) < t.max_arrivals) {
+      while (static_cast<std::int64_t>(churned_) < t.max_arrivals) {
         at += arrivals.exponential(1.0 / t.arrival_rate_per_s);
         if (at >= t.duration_s) break;
         plan.push_back(Plan{false, -1, at});
-        ++churned;
+        ++churned_;
       }
     }
     for (const CrossTrafficSpec& x : t.cross) {
@@ -179,34 +231,27 @@ TrafficResult TrafficEngine::run() {
     }
   }
 
-  // --- schedule and run ----------------------------------------------------
-  const TimePoint end = base_ + Duration::from_seconds(t.duration_s);
+  // --- schedule arrivals and ticks ------------------------------------------
   for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
     const double arr = flows_[idx]->rec.arrival_s;
     if (arr >= t.duration_s) continue;  // e.g. a cross group starting too late
-    world_.sim().at(base_ + Duration::from_seconds(arr), [this, idx] { start_flow(idx); });
+    flows_[idx]->arrival_event =
+        world_.sim().at(base_ + Duration::from_seconds(arr), [this, idx] { start_flow(idx); });
   }
-  if (on_tick && tick_s > 0.0) schedule_tick(base_ + Duration::from_seconds(tick_s), end);
-  if (heartbeat != nullptr && heartbeat->enabled()) {
-    world_.sim().set_heartbeat(heartbeat->interval_s, heartbeat->fn);
-  }
-  const std::uint64_t events_before = world_.sim().events_processed();
-  world_.sim().run_until(end);
-  if (world_.sim().heartbeat_attached()) world_.sim().set_heartbeat(0.0, nullptr);
-  if (telemetry != nullptr) {
-    telemetry->events += world_.sim().events_processed() - events_before;
-    telemetry->sim_s += (world_.sim().now() - base_).to_seconds();
-  }
-  ran_ = true;
+  if (on_tick && tick_s > 0.0) schedule_tick(base_ + Duration::from_seconds(tick_s), end_);
+}
 
-  // --- tear down survivors and aggregate -----------------------------------
+void TrafficEngine::finish() {
   for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
     if (flows_[idx]->conn != nullptr) end_flow(idx);
   }
+}
 
+TrafficResult TrafficEngine::collect() const {
+  const TrafficSpec& t = spec_.traffic;
   TrafficResult res;
   res.duration_s = t.duration_s;
-  res.churned = churned;
+  res.churned = churned_;
   std::vector<double> mptcp_goodputs;
   std::uint64_t delivered_mptcp = 0;
   std::uint64_t delivered_cross = 0;
@@ -233,6 +278,66 @@ TrafficResult TrafficEngine::run() {
   res.jain = jain_index(mptcp_goodputs);
   res.orphans = world_.down_mux().orphan_count() + world_.up_mux().orphan_count();
   return res;
+}
+
+void TrafficEngine::restore_from(const TrafficEngine& src) {
+  // World::restore_from already ran, so the world's next_conn_id matches the
+  // source; minting twins below clobbers it, so put it back when done.
+  const std::uint32_t saved_next_id = world_.next_conn_id();
+  base_ = src.base_;
+  end_ = src.end_;
+  active_ = src.active_;
+  churned_ = src.churned_;
+  ran_ = src.ran_;
+  flows_.clear();
+  flows_.reserve(src.flows_.size());
+  for (const auto& s : src.flows_) {
+    auto f = std::make_unique<Flow>();
+    f->rec = s->rec;
+    flows_.push_back(std::move(f));
+  }
+  for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
+    const Flow& s = *src.flows_[idx];
+    Flow& f = *flows_[idx];
+    if (s.conn != nullptr) {
+      world_.set_next_conn_id(s.conn->config().conn_id);
+      if (f.rec.cross) {
+        f.conn = world_.make_connection_on({static_cast<std::size_t>(f.rec.cross_path)},
+                                           scheduler_factory("default"));
+        Connection* c = f.conn.get();
+        c->on_sendable = [c] { c->send(1u << 30); };
+      } else {
+        f.conn = world_.make_connection(scheduler_factory(spec_.scheduler));
+        f.http = std::make_unique<HttpExchange>(world_.sim(), *f.conn, world_.request_delay());
+      }
+      f.conn->restore_from(*s.conn);
+      if (f.http != nullptr) {
+        f.http->restore_from(*s.http);
+        if (f.http->outstanding() > 0) install_done(idx);
+      }
+      if (on_flow_start) on_flow_start(*f.conn);
+    }
+    if (s.arrival_event != 0) {
+      f.arrival_event = s.arrival_event;
+      world_.sim().rebind(f.arrival_event, [this, idx] { start_flow(idx); });
+    }
+    if (s.end_event != 0) {
+      f.end_event = s.end_event;
+      world_.sim().rebind(f.end_event, [this, idx] { end_flow(idx); });
+    }
+  }
+  if (src.tick_event_ != 0) {
+    tick_at_ = src.tick_at_;
+    tick_end_ = src.tick_end_;
+    tick_event_ = src.tick_event_;
+    const TimePoint at = tick_at_;
+    const TimePoint end = tick_end_;
+    world_.sim().rebind(tick_event_, [this, at, end] {
+      if (on_tick) on_tick();
+      schedule_tick(at + Duration::from_seconds(tick_s), end);
+    });
+  }
+  world_.set_next_conn_id(saved_next_id);
 }
 
 ScenarioSpec fairness_cell_spec(const std::string& scheduler, int flows, double duration_s,

@@ -97,6 +97,23 @@ class TrafficEngine {
   // tears everything down, and reports. Call once.
   TrafficResult run();
 
+  // --- staged driving (exp/snapshot.h) --------------------------------------
+  // run() is start() + run_until(end_time()) + finish() + collect(), split so
+  // a run can be paused at a snapshot point and forked. Set tick_s/on_tick/
+  // telemetry/heartbeat before start().
+  void start();                 // plan + schedule arrivals and ticks
+  TimePoint end_time() const { return end_; }
+  void finish();                // tear down surviving flows
+  TrafficResult collect() const;
+
+  // Copies flow records and rebuilds the live connections/exchanges from
+  // `src` (same spec, over a world already restored from src's): twin
+  // connections are minted under the source conn_ids, pending arrival /
+  // teardown / tick events are adopted by EventId and rebound to this
+  // engine. on_flow_start/on_flow_end fire for live flows so watchers can
+  // re-attach.
+  void restore_from(const TrafficEngine& src);
+
  private:
   struct Flow;
 
@@ -104,13 +121,21 @@ class TrafficEngine {
   void finish_flow(std::size_t idx, double fct_s);
   void end_flow(std::size_t idx);  // record stats, fire hook, destroy
   void schedule_tick(TimePoint at, TimePoint end);
+  void install_done(std::size_t idx);  // http completion -> finish_flow
 
   World& world_;
   const ScenarioSpec& spec_;
   TimePoint base_;
+  TimePoint end_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::size_t active_ = 0;
+  std::size_t churned_ = 0;
   bool ran_ = false;
+  // Pending on_tick chain event (0 = none), with the arguments of the
+  // schedule_tick call that created it so a fork can rebind it.
+  EventId tick_event_ = 0;
+  TimePoint tick_at_;
+  TimePoint tick_end_;
 
   // Aggregate instruments (no-ops when the world has no recorder).
   Counter flows_started_;

@@ -75,7 +75,10 @@ class RingDeque {
 
  private:
   void grow() {
-    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    // First allocation is deliberately tiny: at 100k flows the per-subflow
+    // staging queues dominated the "other" memory tag, and most queues never
+    // hold more than a couple of entries (BENCH_scale.json, ROADMAP item 1).
+    const std::size_t new_cap = buf_.empty() ? 2 : buf_.size() * 2;
     std::vector<T> next(new_cap);
     for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(buf_[(head_ + i) & mask_]);
     buf_ = std::move(next);
@@ -143,7 +146,9 @@ class SeqRing {
 
  private:
   void grow() {
-    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    // Same small-first policy as RingDeque::grow — idle flows keep a handful
+    // of in-flight segments, so starting at 8 wasted most of the buffer.
+    const std::size_t new_cap = buf_.empty() ? 2 : buf_.size() * 2;
     std::vector<T> next(new_cap);
     const std::uint64_t new_mask = new_cap - 1;
     for (std::uint64_t s = lo_; s != lo_ + count_; ++s) next[s & new_mask] = std::move(buf_[s & mask_]);

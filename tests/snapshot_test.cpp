@@ -1,0 +1,335 @@
+// Snapshot-and-fork tests (exp/snapshot.h).
+//
+// The core claim under test: a world forked at a mid-run snapshot produces
+// output byte-identical to the unforked run — for every golden-corpus
+// preset, at serial and parallel sweep widths, at several snapshot times,
+// and through chained forks. Plus the satellite regressions for the raw-this
+// capture fixes the fork audit surfaced (an HttpExchange or TrafficEngine
+// destroyed with callbacks still scheduled used to leave dangling events).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/http.h"
+#include "check/invariants.h"
+#include "exp/snapshot.h"
+#include "exp/testbed.h"
+#include "obs/recorder.h"
+#include "sched/registry.h"
+
+namespace mps {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kScenarioDir = fs::path(MPS_SOURCE_DIR) / "scenarios";
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<fs::path> scenario_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(kScenarioDir)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Same smoke scale as the golden-corpus test, so runtimes stay in ctest
+// territory while every workload kind is covered.
+void apply_smoke_overrides(ScenarioSpec& spec) {
+  if (spec.traffic.enabled) return;
+  spec.workload.runs = 1;
+  if (spec.workload.kind == WorkloadKind::kStream) spec.workload.video_s = 5.0;
+  if (spec.workload.kind == WorkloadKind::kDownload) spec.workload.bytes = 65536;
+}
+
+// A time strictly inside the run, so the fork genuinely splits prefix from
+// suffix for every workload kind at smoke scale.
+double snapshot_time_for(const ScenarioSpec& spec) {
+  if (spec.traffic.enabled) return spec.traffic.duration_s * 0.5;
+  switch (spec.workload.kind) {
+    case WorkloadKind::kStream:
+      return spec.workload.video_s * 0.5;
+    case WorkloadKind::kDownload:
+      return 0.05;
+    case WorkloadKind::kWeb:
+      return 0.5;
+  }
+  return 0.5;
+}
+
+bool wants_recorder(const ScenarioSpec& spec) {
+  return spec.record.summarize &&
+         (spec.traffic.enabled || spec.workload.kind == WorkloadKind::kStream);
+}
+
+// Renders a scratch (unforked) run exactly as golden_test/mps_run do. When
+// the spec asks for a recorder summary it is included, so recorder content
+// is part of the byte-identity check; `rec_out` additionally exposes the
+// recorder for data_equals assertions.
+std::string render_scratch(const ScenarioSpec& spec, FlightRecorder* rec_out) {
+  std::string out;
+  ScenarioRunOptions opts;
+  if (wants_recorder(spec)) opts.recorder = rec_out;
+  const ScenarioOutcome outcome = run_scenario(spec, opts);
+  out += format_outcome(spec, outcome);
+  if (opts.recorder != nullptr) {
+    out += "\n--- flight recorder ---\n";
+    std::ostringstream report;
+    opts.recorder->summarize(report);
+    out += report.str();
+  }
+  return out;
+}
+
+std::string render_forked(const ScenarioSpec& spec, double snapshot_at_s, int jobs,
+                          FlightRecorder* rec_out) {
+  std::string out;
+  ScenarioRunOptions opts;
+  if (wants_recorder(spec)) opts.recorder = rec_out;
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  const ScenarioOutcome outcome = run_scenario_forked(spec, snapshot_at_s, opts, sweep);
+  out += format_outcome(spec, outcome);
+  if (opts.recorder != nullptr) {
+    out += "\n--- flight recorder ---\n";
+    std::ostringstream report;
+    opts.recorder->summarize(report);
+    out += report.str();
+  }
+  return out;
+}
+
+class ForkVsScratch : public ::testing::TestWithParam<int> {};
+
+// For every golden-corpus preset: fork at a mid-run snapshot, finish the
+// fork, and require output (and recorder data, where the preset records)
+// byte-identical to the never-forked run.
+TEST_P(ForkVsScratch, EveryPresetByteIdentical) {
+  const int jobs = GetParam();
+  const auto files = scenario_files();
+  ASSERT_FALSE(files.empty()) << "no scenario presets found in " << kScenarioDir;
+
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    ScenarioSpec spec = scenario_from_json(Json::parse(slurp(file)));
+    apply_smoke_overrides(spec);
+
+    FlightRecorder scratch_rec;
+    FlightRecorder forked_rec;
+    const std::string scratch = render_scratch(spec, &scratch_rec);
+    const std::string forked =
+        render_forked(spec, snapshot_time_for(spec), jobs, &forked_rec);
+
+    EXPECT_EQ(scratch, forked) << "fork-vs-scratch output drift in "
+                               << file.filename().string();
+    if (wants_recorder(spec)) {
+      EXPECT_TRUE(scratch_rec.data_equals(forked_rec))
+          << "recorder data drift in " << file.filename().string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ForkVsScratch, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "jobs" + std::to_string(info.param);
+                         });
+
+// Forking must be equivalence-preserving wherever the snapshot lands —
+// before the first event, mid-run, and after the workload finished.
+TEST(SnapshotFork, ForkAtSeveralTimesIsEquivalent) {
+  StreamingParams p;
+  p.wifi_mbps = 8.0;
+  p.lte_mbps = 2.0;
+  p.scheduler = "ecf";
+  p.video = Duration::seconds(5);
+  p.seed = 42;
+
+  const StreamingResult scratch = run_streaming(p);
+  const std::string scratch_chunks = [&] {
+    std::ostringstream os;
+    for (const auto& c : scratch.chunks) {
+      os << c.bitrate_mbps << ":" << (c.fetch_end - c.fetch_start).to_seconds() << ";";
+    }
+    return os.str();
+  }();
+
+  for (const double at_s : {0.0, 0.5, 2.0, 4.5, 1000.0}) {
+    SCOPED_TRACE(at_s);
+    StreamingRun run(p);
+    run.start();
+    run.run_to(TimePoint::origin() + Duration::from_seconds(at_s));
+    std::unique_ptr<StreamingRun> forked = run.fork();
+    const StreamingResult res = forked->finish();
+
+    EXPECT_EQ(scratch.mean_bitrate_mbps, res.mean_bitrate_mbps);
+    EXPECT_EQ(scratch.mean_throughput_mbps, res.mean_throughput_mbps);
+    EXPECT_EQ(scratch.fraction_fast, res.fraction_fast);
+    EXPECT_EQ(scratch.rebuffer_time, res.rebuffer_time);
+    EXPECT_EQ(scratch.chunks_fetched, res.chunks_fetched);
+    std::ostringstream os;
+    for (const auto& c : res.chunks) {
+      os << c.bitrate_mbps << ":" << (c.fetch_end - c.fetch_start).to_seconds() << ";";
+    }
+    EXPECT_EQ(scratch_chunks, os.str());
+  }
+}
+
+// Fork-of-a-fork, and sibling forks from one prefix: all copies are
+// independent (finishing one cannot perturb another) and all agree with the
+// unforked run. ASan/TSan runs of this test pin the no-dangling claim.
+TEST(SnapshotFork, DoubleForkIndependence) {
+  DownloadParams p;
+  p.wifi_mbps = 1.0;
+  p.lte_mbps = 5.0;
+  p.bytes = 256 * 1024;
+  p.scheduler = "ecf";
+  p.seed = 7;
+
+  const DownloadResult scratch = run_download(p);
+
+  DownloadRun run(p);
+  run.start();
+  run.run_to(TimePoint::origin() + Duration::from_seconds(0.2));
+  std::unique_ptr<DownloadRun> fork_a = run.fork();
+  std::unique_ptr<DownloadRun> fork_b = run.fork();
+
+  // Advance the first fork further, then fork it again.
+  fork_a->run_to(TimePoint::origin() + Duration::from_seconds(0.5));
+  std::unique_ptr<DownloadRun> fork_aa = fork_a->fork();
+
+  const DownloadResult res_b = fork_b->finish();
+  fork_b.reset();
+  const DownloadResult res_aa = fork_aa->finish();
+  fork_aa.reset();
+  const DownloadResult res_a = fork_a->finish();
+  run.set_scheduler(scheduler_factory(p.scheduler));  // exercised, not asserted
+
+  EXPECT_EQ(scratch.completion, res_a.completion);
+  EXPECT_EQ(scratch.completion, res_b.completion);
+  EXPECT_EQ(scratch.completion, res_aa.completion);
+  EXPECT_EQ(scratch.fraction_fast, res_a.fraction_fast);
+  EXPECT_EQ(scratch.fraction_fast, res_aa.fraction_fast);
+}
+
+// The protocol invariants hold inside a forked world: attach the checker to
+// the fork's recorder stream and let it validate every event of the suffix.
+TEST(SnapshotFork, InvariantCheckerCleanInForkedWorld) {
+  StreamingParams p;
+  p.wifi_mbps = 4.0;
+  p.lte_mbps = 8.0;
+  p.scheduler = "ecf";
+  p.video = Duration::seconds(5);
+  p.seed = 3;
+  FlightRecorder rec;
+  p.recorder = &rec;
+
+  StreamingRun run(p);
+  run.start();
+  run.run_to(TimePoint::origin() + Duration::from_seconds(2.0));
+  std::unique_ptr<StreamingRun> forked = run.fork();
+
+  InvariantChecker checker(forked->sim());
+  checker.watch(forked->connection());
+  forked->finish();
+  checker.check_now("forked-world-final");
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks_run(), 0u);
+}
+
+// The what-if grid's two modes — shared prefix forked per scheduler vs the
+// full from-scratch grid — must agree cell-for-cell.
+TEST(SnapshotFork, WhatIfGridSharedPrefixMatchesScratch) {
+  ScenarioSpec spec;
+  spec.name = "whatif";
+  spec.scheduler = "minrtt";
+  spec.workload.kind = WorkloadKind::kDownload;
+  spec.workload.bytes = 512 * 1024;
+  spec.workload.runs = 2;
+  spec.seed = 11;
+  spec.paths = {wifi_path(2.0), lte_path(8.0)};
+
+  const std::vector<std::string> schedulers = {"minrtt", "ecf", "rr"};
+  const double switch_at = 0.3;
+
+  const auto shared = run_whatif_grid(spec, schedulers, switch_at, /*share_prefix=*/true);
+  const auto scratch = run_whatif_grid(spec, schedulers, switch_at, /*share_prefix=*/false);
+
+  ASSERT_EQ(shared.size(), schedulers.size());
+  ASSERT_EQ(scratch.size(), schedulers.size());
+  for (std::size_t b = 0; b < schedulers.size(); ++b) {
+    SCOPED_TRACE(schedulers[b]);
+    EXPECT_EQ(format_outcome(spec, shared[b]), format_outcome(spec, scratch[b]));
+    EXPECT_EQ(shared[b].download.completion, scratch[b].download.completion);
+  }
+  // The divergence is real: different schedulers reach different outcomes.
+  EXPECT_NE(shared[1].download.completion, shared[2].download.completion);
+}
+
+TEST(SnapshotFork, WhatIfGridRejectsUnsupportedWorkloads) {
+  ScenarioSpec spec;
+  spec.workload.kind = WorkloadKind::kWeb;
+  spec.paths = {wifi_path(5.0), lte_path(5.0)};
+  EXPECT_THROW(run_whatif_grid(spec, {"ecf"}, 1.0, true), std::invalid_argument);
+}
+
+// --- satellite: raw-`this` capture regressions ------------------------------
+
+// Destroying an HttpExchange with a GET's request event still in flight must
+// cancel that event: it used to fire into the freed exchange when the
+// simulation kept running (caught by the fork audit, reproduced here).
+TEST(DanglingCallbacks, HttpExchangeDestroyedWithInflightRequest) {
+  TestbedConfig tb;
+  tb.wifi = wifi_profile(Rate::mbps(8.0));
+  tb.lte = lte_profile(Rate::mbps(8.0));
+  tb.seed = 1;
+  Testbed bed(tb);
+  auto conn = bed.make_connection(scheduler_factory("minrtt"));
+  auto http = std::make_unique<HttpExchange>(bed.sim(), *conn, bed.request_delay());
+
+  bool done_fired = false;
+  http->get(100'000, [&](const ObjectResult&) { done_fired = true; });
+  ASSERT_GT(bed.sim().pending_events(), 0u);
+  http.reset();  // request event still pending
+
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_FALSE(done_fired);
+}
+
+// Destroying a TrafficEngine mid-run (pending arrivals, per-flow teardown
+// posts, and an on_tick chain) must cancel everything it scheduled; the
+// simulation then keeps running without touching the freed engine.
+TEST(DanglingCallbacks, TrafficEngineDestroyedMidRun) {
+  const ScenarioSpec spec = fairness_cell_spec("minrtt", 4, 2.0, 200'000, 9);
+  WorldBuilder builder(spec);
+  std::unique_ptr<World> world = builder.build(nullptr);
+
+  int ticks = 0;
+  auto engine = std::make_unique<TrafficEngine>(*world, builder.spec());
+  engine->tick_s = 0.1;
+  engine->on_tick = [&ticks] { ++ticks; };
+  engine->start();
+
+  world->sim().run_until(TimePoint::origin() + Duration::from_seconds(0.7));
+  ASSERT_GT(ticks, 0);
+  const int ticks_at_destroy = ticks;
+  engine.reset();  // arrivals, teardown posts, and the tick chain are pending
+
+  world->sim().run_until(TimePoint::origin() + Duration::from_seconds(3.0));
+  EXPECT_EQ(ticks, ticks_at_destroy);
+}
+
+}  // namespace
+}  // namespace mps

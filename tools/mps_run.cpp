@@ -2,6 +2,7 @@
 //
 //   mps_run <spec.json> [--set key=value]... [--print-spec]
 //           [--prof-out FILE] [--progress[=SECS]]
+//           [--snapshot-at=SECS] [--fork=K]
 //
 //   --set key=value   Override a field of the JSON document before it is
 //                     parsed into a ScenarioSpec. `key` is a dotted path;
@@ -22,6 +23,16 @@
 //                     sim/wall ratio, flow counts when a recorder is
 //                     attached. Driven purely by the wall clock, so it can
 //                     never perturb the run (see Simulator::set_heartbeat).
+//   --snapshot-at=SECS
+//                     Snapshot-and-fork exercise (exp/snapshot.h): pause
+//                     each repetition at sim time SECS, fork it, discard
+//                     the original, and finish the fork. Output is
+//                     byte-identical to the plain run — this flag smokes
+//                     the fork machinery end to end (check.sh --snapshot).
+//   --fork=K          With --snapshot-at: fork K copies at the snapshot
+//                     point, finish all of them, and verify their rendered
+//                     outcomes are identical before printing; a `fork-check`
+//                     line reports the verdict to stderr.
 //
 // The run goes through the same spec -> params conversion as the bench
 // drivers (exp/scenario_run.h), so a preset that mirrors a bench cell
@@ -36,6 +47,7 @@
 
 #include "exp/prof_report.h"
 #include "exp/scenario_run.h"
+#include "exp/snapshot.h"
 #include "obs/prof.h"
 #include "obs/recorder.h"
 
@@ -135,12 +147,36 @@ int main(int argc, char** argv) {
 
   std::string prof_out;
   double progress_s = 0.0;
+  double snapshot_at_s = -1.0;
+  int fork_k = 1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--print-spec") {
       print_spec = true;
     } else if (arg == "--prof-out" && i + 1 < argc) {
       prof_out = argv[++i];
+    } else if (arg.rfind("--snapshot-at=", 0) == 0) {
+      try {
+        snapshot_at_s = std::stod(arg.substr(std::string("--snapshot-at=").size()));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "mps_run: bad --snapshot-at time '%s'\n", arg.c_str());
+        return 2;
+      }
+      if (snapshot_at_s < 0.0) {
+        std::fprintf(stderr, "mps_run: --snapshot-at must be >= 0\n");
+        return 2;
+      }
+    } else if (arg.rfind("--fork=", 0) == 0) {
+      try {
+        fork_k = std::stoi(arg.substr(std::string("--fork=").size()));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "mps_run: bad --fork count '%s'\n", arg.c_str());
+        return 2;
+      }
+      if (fork_k < 1) {
+        std::fprintf(stderr, "mps_run: --fork must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--progress" || arg.rfind("--progress=", 0) == 0) {
       progress_s = 1.0;
       if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
@@ -220,7 +256,29 @@ int main(int argc, char** argv) {
         std::fputc('\n', stderr);
       };
     }
-    const ScenarioOutcome out = run_scenario(spec, opts);
+    ScenarioOutcome out;
+    if (snapshot_at_s >= 0.0) {
+      if (fork_k > 1) {
+        const std::vector<ScenarioOutcome> forks =
+            run_scenario_fork_k(spec, snapshot_at_s, fork_k, opts);
+        const std::string first = format_outcome(spec, forks.front());
+        int agree = 1;
+        for (std::size_t j = 1; j < forks.size(); ++j) {
+          if (format_outcome(spec, forks[j]) == first) ++agree;
+        }
+        std::fprintf(stderr, "fork-check: %d/%d forks at t=%.3fs identical%s\n", agree,
+                     fork_k, snapshot_at_s, agree == fork_k ? "" : " -- MISMATCH");
+        if (agree != fork_k) return 1;
+        out = forks.front();
+      } else {
+        out = run_scenario_forked(spec, snapshot_at_s, opts);
+      }
+    } else if (fork_k > 1) {
+      std::fprintf(stderr, "mps_run: --fork requires --snapshot-at\n");
+      return 2;
+    } else {
+      out = run_scenario(spec, opts);
+    }
     std::fputs(format_outcome(spec, out).c_str(), stdout);
     if (opts.recorder) {
       std::printf("\n--- flight recorder ---\n");
