@@ -11,6 +11,7 @@
 #   scripts/check.sh --fairness    # only the fairness smoke (assumes ./build)
 #   scripts/check.sh --scale       # only the 1k-flow scale smoke (assumes ./build)
 #   scripts/check.sh --snapshot    # only the snapshot-and-fork smoke (assumes ./build)
+#   scripts/check.sh --handover    # only the path-churn/handover smoke (assumes ./build)
 #
 # The default suite always includes a profiling smoke: a -DMPS_PROF=ON build
 # runs its profiler unit tests and the full golden corpus (byte-identical
@@ -133,6 +134,33 @@ run_snapshot_smoke() {
   done
 }
 
+# Handover smoke: dynamic path management end to end. The commuter preset
+# (mid-connection subflow churn) must run, snapshot+fork straddling the
+# handover window must stay byte-identical to the plain run, the other two
+# churn presets must load and run, and the seeded "handover" stress profile
+# (every scheduler x seed under the invariant checker while both paths are
+# torn down and re-joined) must pass.
+run_handover_smoke() {
+  local build_dir="$1"
+  echo "handover smoke ($build_dir): churn presets + fork-at-handover + stress profile"
+  cmake --build "$build_dir" -j "$(nproc)" --target mps_run mps_stress
+  local plain forked
+  plain="$("$build_dir/tools/mps_run" scenarios/handover_commuter.json \
+    --set workload.video_s=5)"
+  forked="$("$build_dir/tools/mps_run" scenarios/handover_commuter.json \
+    --set workload.video_s=5 --snapshot-at=0.1 --fork=2)"
+  if [[ "$plain" != "$forked" ]]; then
+    echo "mps_run: snapshot+fork changed the handover_commuter output" >&2
+    diff <(printf '%s\n' "$plain") <(printf '%s\n' "$forked") >&2 || true
+    return 1
+  fi
+  "$build_dir/tools/mps_run" scenarios/backup_promotion.json \
+    --set workload.bytes=65536 >/dev/null
+  "$build_dir/tools/mps_run" scenarios/correlated_loss_pair.json \
+    --set workload.video_s=5 >/dev/null
+  "$build_dir/tools/mps_stress" --seeds 2 --profiles handover
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -153,6 +181,7 @@ stress_only=0
 fairness_only=0
 scale_only=0
 snapshot_only=0
+handover_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -164,6 +193,7 @@ for arg in "$@"; do
     --fairness) fairness_only=1 ;;
     --scale) scale_only=1 ;;
     --snapshot) snapshot_only=1 ;;
+    --handover) handover_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -198,9 +228,16 @@ if [[ "$snapshot_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$handover_only" == 1 ]]; then
+  run_handover_smoke build
+  echo "check.sh: handover smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
 run_snapshot_smoke build
+run_handover_smoke build
 run_stress_sweep build --seeds 2
 run_fairness_smoke build
 run_scale_smoke build
@@ -210,6 +247,7 @@ if [[ "$sanitize" == 1 ]]; then
   run_suite build-sanitize "" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=address
   run_scenarios_smoke build-sanitize
   run_snapshot_smoke build-sanitize
+  run_handover_smoke build-sanitize
   run_stress_sweep build-sanitize --seeds 6
   run_scale_smoke build-sanitize
 fi
@@ -221,6 +259,7 @@ if [[ "$tsan" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMPS_SANITIZE=thread
   run_scenarios_smoke build-tsan
   run_snapshot_smoke build-tsan
+  run_handover_smoke build-tsan
 fi
 
 if [[ "$notrace" == 1 ]]; then

@@ -45,10 +45,15 @@ void InvariantChecker::watch(Connection& conn) {
   w.last_rcv_data_next = conn.rcv_data_next();
   w.last_data_una = conn.data_una();
   w.last_next_data_seq = conn.next_data_seq();
-  w.subflows.resize(conn.subflows().size());
-  for (std::size_t i = 0; i < conn.subflows().size(); ++i) {
-    w.subflows[i].last_snd_una = conn.subflows()[i]->snd_una();
-    w.subflows[i].last_sack_high = conn.subflows()[i]->sack_high();
+  // Watches are keyed by slot id, not by position in the live list: slot ids
+  // are stable under mid-connection churn (mptcp/path_manager.h), while the
+  // live list compacts when a subflow is finalized.
+  w.subflows.resize(conn.slot_count());
+  for (std::size_t slot = 0; slot < conn.slot_count(); ++slot) {
+    const Subflow* sf = conn.subflow_at(slot);
+    if (sf == nullptr) continue;
+    w.subflows[slot].last_snd_una = sf->snd_una();
+    w.subflows[slot].last_sack_high = sf->sack_high();
   }
   watched_.push_back(w);
 }
@@ -166,8 +171,23 @@ void InvariantChecker::check_connection(ConnWatch& w, const char* context, bool 
   }
 
   // --- per-subflow sender scoreboard + cwnd sanity --------------------------
-  for (std::size_t i = 0; i < c.subflows().size(); ++i) {
-    Subflow& sf = *c.subflows()[i];
+  // Slots added after watch() started (path-manager adds) get a fresh watch
+  // seeded from the subflow's current counters; finalized slots are null and
+  // skipped — their watch entry stays behind as a tombstone so later slots
+  // keep their index.
+  if (w.subflows.size() < c.slot_count()) {
+    const std::size_t old = w.subflows.size();
+    w.subflows.resize(c.slot_count());
+    for (std::size_t slot = old; slot < c.slot_count(); ++slot) {
+      const Subflow* nsf = c.subflow_at(slot);
+      if (nsf == nullptr) continue;
+      w.subflows[slot].last_snd_una = nsf->snd_una();
+      w.subflows[slot].last_sack_high = nsf->sack_high();
+    }
+  }
+  for (std::size_t i = 0; i < c.slot_count(); ++i) {
+    if (c.subflow_at(i) == nullptr) continue;
+    const Subflow& sf = *c.subflow_at(i);
     SubflowWatch& sw = w.subflows[i];
 
     if (sf.snd_una() < sw.last_snd_una) {
@@ -242,8 +262,8 @@ void InvariantChecker::check_connection(ConnWatch& w, const char* context, bool 
     }
 
     // --- per-subflow receiver ordering ----------------------------------------
-    if (i < c.receiver_count()) {
-      const SubflowReceiver& rx = c.receiver(i);
+    if (c.receiver_at(i) != nullptr) {
+      const SubflowReceiver& rx = *c.receiver_at(i);
       if (rx.ooo_min_seq() != UINT64_MAX && rx.ooo_min_seq() <= rx.rcv_next()) {
         violation("rcv-order", fmt("sf%zu receiver holds seq %llu <= rcv_next=%llu (%s)", i,
                                    (unsigned long long)rx.ooo_min_seq(),
@@ -275,6 +295,10 @@ void InvariantChecker::check_conservation(const ConnWatch& w, const char* contex
   ranges.clear();
   c.collect_ooo_ranges(ranges);
   for (Subflow* sf : c.subflows()) sf->collect_data_ranges(ranges);
+  // Ranges abandoned by a torn-down subflow live in the connection's remap
+  // queue until a surviving subflow re-schedules them — they count as a
+  // sender-side copy, else every abandon teardown would report vanished bytes.
+  c.collect_remap_ranges(ranges);
   std::sort(ranges.begin(), ranges.end());
 
   std::uint64_t covered_to = lo;

@@ -5,6 +5,7 @@
 
 #include "app/http.h"
 #include "check/invariants.h"
+#include "mptcp/path_manager.h"
 #include "obs/recorder.h"
 #include "scenario/world.h"
 #include "sched/registry.h"
@@ -75,6 +76,26 @@ void apply_profile(const std::string& profile, ScenarioSpec& spec) {
     spec.traffic.cross = {CrossTrafficSpec{1, 1, 0.0}};
     return;
   }
+  if (profile == "handover") {
+    // Mid-transfer subflow churn under light loss: both paths are torn down
+    // and re-joined while data is in flight — the drain path first, then an
+    // abandon that pushes unacked ranges through the remap queue. Timescales
+    // sized like "outage": a 512 KB transfer runs ~0.3-0.5 s, so every event
+    // lands inside it.
+    wifi.loss_rate = 0.01;
+    spec.path_manager.enabled = true;
+    spec.path_manager.tick_ms = 5.0;
+    spec.path_manager.drain_timeout_s = 0.1;
+    spec.path_manager.events = {
+        PathEventSpec{0.04, "remove", 0, "drain"},
+        PathEventSpec{0.09, "add", 0, "drain"},
+        PathEventSpec{0.14, "remove", 1, "abandon"},
+        PathEventSpec{0.20, "add", 1, "drain"},
+        PathEventSpec{0.26, "remove", 0, "abandon"},
+        PathEventSpec{0.32, "add", 0, "drain"},
+    };
+    return;
+  }
   if (profile == "storm") {
     wifi.faults = ge_wifi_faults();
     wifi.faults.gilbert_elliott.p_good_bad = 0.03;
@@ -141,8 +162,8 @@ StressCellResult run_churn_cell(const ScenarioSpec& spec) {
 }  // namespace
 
 const std::vector<std::string>& stress_profile_names() {
-  static const std::vector<std::string> names = {"clean",  "iid",     "ge_wifi", "outage",
-                                                 "reorder", "storm",  "churn"};
+  static const std::vector<std::string> names = {"clean",   "iid",   "ge_wifi",  "outage",
+                                                 "reorder", "storm", "handover", "churn"};
   return names;
 }
 
@@ -170,6 +191,15 @@ StressCellResult run_stress_cell(const StressCell& cell) {
   InvariantChecker checker(sim);
   std::unique_ptr<Connection> conn = world->make_connection(scheduler_factory(spec.scheduler));
   checker.watch(*conn);
+
+  std::unique_ptr<PathManager> pm;
+  if (spec.path_manager.enabled) {
+    std::vector<Path*> paths;
+    for (std::size_t i = 0; i < world->path_count(); ++i) paths.push_back(&world->path(i));
+    pm = std::make_unique<PathManager>(*conn, std::move(paths),
+                                       path_manager_config_from_spec(spec.path_manager));
+    pm->start();
+  }
 
   HttpExchange http(sim, *conn, world->request_delay());
   StressCellResult result;
@@ -208,9 +238,12 @@ StressCellResult run_stress_cell(const StressCell& cell) {
     result.drops_fault += ls.drops_fault;
     result.reordered += ls.reordered;
   }
-  for (const Subflow* sf : conn->subflows()) {
-    result.retransmits += sf->stats().retransmits;
-    result.rto_events += sf->stats().rto_events;
+  // Slot-based so subflows retired by path-manager churn still count.
+  for (std::size_t i = 0; i < conn->slot_count(); ++i) {
+    const Subflow* sf = conn->subflow_at(i);
+    const SubflowStats& st = sf != nullptr ? sf->stats() : conn->retired_stats(i);
+    result.retransmits += st.retransmits;
+    result.rto_events += st.rto_events;
   }
   return result;
 }

@@ -41,7 +41,9 @@ struct StressCellResult {
 // fault-free goldens), "iid" (plain random loss), "ge_wifi" (Gilbert-Elliott
 // burst loss on the wifi path), "outage" (scheduled blackouts + flapping),
 // "reorder" (jitter-induced reordering on both paths), "storm" (bursts +
-// reordering + flap together), "churn" (competing-traffic run with Poisson
+// reordering + flap together), "handover" (path-manager subflow churn: both
+// paths torn down and re-joined mid-transfer, drain and abandon modes, under
+// light loss), "churn" (competing-traffic run with Poisson
 // connection arrivals/departures and light iid loss, every flow watched by
 // the checker until it is torn down).
 const std::vector<std::string>& stress_profile_names();

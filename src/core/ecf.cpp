@@ -43,6 +43,14 @@ EcfDecision ecf_decide(double k_packets, double cwnd_f, double ssthresh_f, doubl
 Subflow* EcfScheduler::pick(Connection& conn) {
   Subflow* xf = fastest_established(conn);
   if (xf == nullptr) return nullptr;
+  // Hysteresis is keyed to the subflow that armed it. If the fastest-subflow
+  // identity changed since (RTT estimates crossed, or the armed subflow was
+  // torn down), the pending beta bonus argues about a race that no longer
+  // exists — drop it and decide fresh for the new pair.
+  if (waiting_ && waiting_for_ != xf->id()) {
+    waiting_ = false;
+    waiting_for_ = kNoSubflow;
+  }
   if (xf->can_accept()) {
     // The fastest subflow is available: use it (identical to the default
     // scheduler in this case; Connection records the pick).
@@ -72,14 +80,26 @@ Subflow* EcfScheduler::pick(Connection& conn) {
   switch (decision) {
     case EcfDecision::kWait:
       waiting_ = true;
+      waiting_for_ = xf->id();
       return nullptr;  // wait for x_f
     case EcfDecision::kUseSlow:
       waiting_ = false;
+      waiting_for_ = kNoSubflow;
       return xs;
     case EcfDecision::kUseSlowSmallK:
       return xs;  // `waiting` untouched, as in Algorithm 1
   }
   return xs;
+}
+
+void EcfScheduler::on_subflow_change(Connection& conn) {
+  if (!waiting_) return;
+  for (Subflow* sf : conn.subflows()) {
+    if (sf->id() == waiting_for_ && sf->schedulable()) return;
+  }
+  // The subflow the hysteresis was waiting for left the schedulable set.
+  waiting_ = false;
+  waiting_for_ = kNoSubflow;
 }
 
 MPS_SCHED_COLD void EcfScheduler::note_ecf_decision(EcfDecision decision, const Subflow& xf,

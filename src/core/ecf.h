@@ -59,13 +59,28 @@ class EcfScheduler final : public Scheduler {
 
   Subflow* pick(Connection& conn) override;
   const char* name() const override { return "ecf"; }
-  void reset() override { waiting_ = false; }
+  void reset() override {
+    waiting_ = false;
+    waiting_for_ = kNoSubflow;
+  }
 
   bool waiting() const { return waiting_; }
+  // Id of the fast subflow the armed hysteresis waits for; kNoSubflow when
+  // not waiting.
+  static constexpr std::uint32_t kNoSubflow = UINT32_MAX;
+  std::uint32_t waiting_for() const { return waiting_for_; }
+
+  // The beta bonus is an argument about one specific (x_f, x_s) race; when
+  // the fast-subflow identity changes — RTT estimates crossing, or the
+  // armed subflow leaving in a handover — the stuck bit would hand the
+  // bonus to a pair that never earned it. pick() clears it on identity
+  // change, and a subflow-set change forces the same re-check.
+  void on_subflow_change(Connection& conn) override;
 
   void restore_from(const Scheduler& src) override {
     Scheduler::restore_from(src);
     waiting_ = static_cast<const EcfScheduler&>(src).waiting_;
+    waiting_for_ = static_cast<const EcfScheduler&>(src).waiting_for_;
   }
 
  private:
@@ -76,6 +91,7 @@ class EcfScheduler final : public Scheduler {
 
   EcfConfig config_;
   bool waiting_ = false;
+  std::uint32_t waiting_for_ = kNoSubflow;  // subflow id that armed waiting_
 };
 
 }  // namespace mps

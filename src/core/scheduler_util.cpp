@@ -5,7 +5,10 @@ namespace mps {
 Subflow* fastest_established(Connection& conn) {
   Subflow* best = nullptr;
   for (Subflow* sf : conn.subflows()) {
-    if (!sf->established()) continue;
+    // schedulable(), not established(): a draining subflow can never accept
+    // a segment, and treating it as the fast path would make ECF/BLEST wait
+    // forever for window space that cannot open.
+    if (!sf->schedulable()) continue;
     if (best == nullptr || sf->rtt_estimate() < best->rtt_estimate()) best = sf;
   }
   return best;

@@ -6,8 +6,8 @@
 
 namespace mps {
 
-// Established subflow with the smallest RTT estimate (may be CWND-limited);
-// nullptr if none are established.
+// Schedulable (established, not draining) subflow with the smallest RTT
+// estimate (may be CWND-limited); nullptr if none qualify.
 Subflow* fastest_established(Connection& conn);
 
 // The default-scheduler choice: among subflows that can send now, the one

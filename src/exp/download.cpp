@@ -4,7 +4,7 @@
 
 #include "app/http.h"
 #include "exp/snapshot.h"
-#include "exp/testbed.h"
+#include "scenario/world.h"
 #include "sched/registry.h"
 
 namespace mps {
@@ -14,15 +14,17 @@ DownloadRun::DownloadRun(const DownloadParams& params) : params_(params) { const
 DownloadRun::DownloadRun(const DownloadRun& src, ForkTag) : params_(src.params_) {
   construct();
   snapshot::require_construction_event_free(sim(), "DownloadRun::fork");
-  bed_->world().restore_from(src.bed_->world());
+  world_->restore_from(*src.world_);
+  if (pm_ != nullptr) pm_->restore_topology(*src.pm_);
   conn_->restore_from(*src.conn_);
+  if (pm_ != nullptr) pm_->restore_from(*src.pm_);
   http_->restore_from(*src.http_);
   if (http_->outstanding() > 0) install_done();
   res_ = src.res_;
   started_ = src.started_;
   done_ = src.done_;
   if (started_ && params_.heartbeat.enabled()) {
-    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
+    world_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
   }
   snapshot::require_fully_rebound(sim(), "DownloadRun::fork");
 }
@@ -32,40 +34,60 @@ DownloadRun::~DownloadRun() = default;
 void DownloadRun::construct() {
   cap_ = TimePoint::origin() + Duration::seconds(600);
 
-  TestbedConfig tb;
-  tb.wifi = wifi_profile(Rate::mbps(params_.wifi_mbps));
-  tb.lte = lte_profile(Rate::mbps(params_.lte_mbps));
-  tb.seed = params_.seed;
-  tb.conn.cc = params_.cc;
+  // World construction is bit-identical to the historical Testbed veneer for
+  // the default wifi/lte pair (scenario/world.h's compatibility contract).
+  WorldConfig wc;
+  if (params_.paths.empty()) {
+    wc.paths.push_back(wifi_profile(Rate::mbps(params_.wifi_mbps)));
+    wc.paths.push_back(lte_profile(Rate::mbps(params_.lte_mbps)));
+  } else {
+    wc.paths = params_.paths;
+  }
+  wc.seed = params_.seed;
+  wc.conn.cc = params_.cc;
 
-  bed_ = std::make_unique<Testbed>(tb);
-  conn_ = bed_->make_connection(scheduler_factory(params_.scheduler));
-  http_ = std::make_unique<HttpExchange>(bed_->sim(), *conn_, bed_->request_delay());
+  fast_path_ = 0;
+  for (std::size_t i = 1; i < wc.paths.size(); ++i) {
+    if (wc.paths[i].down_rate > wc.paths[fast_path_].down_rate) fast_path_ = i;
+  }
+
+  world_ = std::make_unique<World>(wc);
+  conn_ = params_.initial_paths.empty()
+              ? world_->make_connection(scheduler_factory(params_.scheduler))
+              : world_->make_connection_on(params_.initial_paths,
+                                           scheduler_factory(params_.scheduler));
+  if (params_.use_path_manager) {
+    std::vector<Path*> paths;
+    for (std::size_t i = 0; i < world_->path_count(); ++i) paths.push_back(&world_->path(i));
+    pm_ = std::make_unique<PathManager>(*conn_, std::move(paths), params_.path_manager);
+  }
+  http_ = std::make_unique<HttpExchange>(world_->sim(), *conn_, world_->request_delay());
 }
 
 void DownloadRun::install_done() {
   http_->set_outstanding_done(0, [this](const ObjectResult& r) {
     res_.completion = r.completed - r.requested;
     done_ = true;
-    bed_->sim().request_stop();
+    world_->sim().request_stop();
   });
 }
 
-Simulator& DownloadRun::sim() { return bed_->sim(); }
+Simulator& DownloadRun::sim() { return world_->sim(); }
 
 void DownloadRun::start() {
   assert(!started_);
   started_ = true;
   http_->get(params_.bytes, nullptr);
   install_done();
+  if (pm_ != nullptr) pm_->start();
   if (params_.heartbeat.enabled()) {
-    bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
+    world_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
   }
 }
 
 void DownloadRun::run_to(TimePoint t) {
   if (done_) return;
-  bed_->sim().run_until(t < cap_ ? t : cap_);
+  world_->sim().run_until(t < cap_ ? t : cap_);
 }
 
 std::unique_ptr<DownloadRun> DownloadRun::fork() const {
@@ -77,20 +99,25 @@ void DownloadRun::set_scheduler(const SchedulerFactory& factory) {
 }
 
 DownloadResult DownloadRun::finish() {
-  if (!done_) bed_->sim().run_until(cap_);
+  if (!done_) world_->sim().run_until(cap_);
   if (params_.telemetry != nullptr) {
-    params_.telemetry->events += bed_->sim().events_processed();
-    params_.telemetry->sim_s += (bed_->sim().now() - TimePoint::origin()).to_seconds();
+    params_.telemetry->events += world_->sim().events_processed();
+    params_.telemetry->sim_s += (world_->sim().now() - TimePoint::origin()).to_seconds();
   }
 
-  const bool lte_fast = params_.lte_mbps > params_.wifi_mbps;
-  const auto& subflows = conn_->subflows();
-  const std::uint64_t wifi_bytes = subflows[0]->stats().bytes_sent;
-  const std::uint64_t lte_bytes = subflows[1]->stats().bytes_sent;
-  const std::uint64_t total = wifi_bytes + lte_bytes;
+  // Per-path byte totals via the connection's slot accounting, which
+  // survives mid-connection subflow teardown (retired slots keep their
+  // stats). Identical to summing the live subflows for static topologies.
+  res_.path_bytes.assign(world_->path_count(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < world_->path_count(); ++i) {
+    res_.path_bytes[i] = conn_->bytes_sent_on(world_->path(i));
+    total += res_.path_bytes[i];
+  }
   res_.fraction_fast =
-      total > 0 ? static_cast<double>(lte_fast ? lte_bytes : wifi_bytes) / total : 0.0;
+      total > 0 ? static_cast<double>(res_.path_bytes[fast_path_]) / total : 0.0;
   res_.ooo_delay = conn_->ooo_delay();
+  res_.remapped_segments = conn_->meta_stats().remapped_segments;
   return res_;
 }
 

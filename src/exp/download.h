@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "mptcp/path_manager.h"
 #include "mptcp/scheduler.h"
+#include "net/path.h"
 #include "sim/simulator.h"
 #include "tcp/cc.h"
 #include "util/stats.h"
@@ -15,7 +18,7 @@
 namespace mps {
 
 class HttpExchange;
-class Testbed;
+class World;
 
 struct DownloadParams {
   double wifi_mbps = 1.0;
@@ -27,12 +30,25 @@ struct DownloadParams {
   // Kernel accounting out-param and progress heartbeat (sim/simulator.h).
   RunTelemetry* telemetry = nullptr;
   HeartbeatConfig heartbeat;
+  // When non-empty, these paths replace the wifi/lte profile pair (N-path
+  // worlds for the path-manager presets). Index 0 is primary.
+  std::vector<PathConfig> paths;
+  // When non-empty, the connection starts with one subflow per listed path
+  // index (backup paths stay in reserve); empty = one per path as before.
+  std::vector<std::size_t> initial_paths;
+  // Dynamic path management (mptcp/path_manager.h); off by default.
+  bool use_path_manager = false;
+  PathManagerConfig path_manager;
 };
 
 struct DownloadResult {
   Duration completion = Duration::zero();
   double fraction_fast = 0.0;
   Samples ooo_delay;
+  // Payload bytes sent per world path (index order), live + retired subflows.
+  std::vector<std::uint64_t> path_bytes;
+  // Segments re-scheduled after an abandon teardown (meta_stats mirror).
+  std::uint64_t remapped_segments = 0;
 };
 
 // One download run held as an object so it can be paused mid-simulation and
@@ -52,6 +68,9 @@ class DownloadRun {
   bool done() const { return done_; }
   Simulator& sim();
   Connection& connection() { return *conn_; }
+  World& world() { return *world_; }
+  // Null unless params.use_path_manager.
+  PathManager* path_manager() { return pm_.get(); }
 
   // Independent copy at the current simulation time (see StreamingRun::fork).
   std::unique_ptr<DownloadRun> fork() const;
@@ -70,9 +89,11 @@ class DownloadRun {
 
   DownloadParams params_;
   TimePoint cap_;
-  std::unique_ptr<Testbed> bed_;
+  std::unique_ptr<World> world_;
   std::unique_ptr<Connection> conn_;
+  std::unique_ptr<PathManager> pm_;
   std::unique_ptr<HttpExchange> http_;
+  std::size_t fast_path_ = 0;  // path index with the highest downlink rate
   DownloadResult res_;
   bool started_ = false;
   bool done_ = false;

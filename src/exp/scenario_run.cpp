@@ -74,18 +74,26 @@ StreamingParams streaming_params_from_spec(const ScenarioSpec& spec,
   p.recorder = opts.recorder;
   p.telemetry = opts.telemetry;
   p.heartbeat = opts.heartbeat;
+  if (spec.path_manager.enabled) {
+    p.use_path_manager = true;
+    p.path_manager = path_manager_config_from_spec(spec.path_manager);
+    if (spec.path_manager.backup.enabled) {
+      p.initial_paths = initial_path_indices(spec.path_manager, spec.paths.size());
+      if (p.initial_paths.empty()) {
+        throw std::invalid_argument(
+            "streaming_params_from_spec: every path is a backup path");
+      }
+    }
+  }
   return p;
 }
 
 DownloadParams download_params_from_spec(const ScenarioSpec& spec) {
   require_kind(spec, WorkloadKind::kDownload, "download_params_from_spec");
-  require_two_paths(spec, "download_params_from_spec");
-  WorldBuilder b(spec);
-  if (!b.pure_profile(0) || !b.pure_profile(1)) {
-    throw std::invalid_argument(
-        "download_params_from_spec: the download runner supports only unmodified "
-        "wifi/lte profile paths");
+  if (spec.paths.size() < 2) {
+    throw std::invalid_argument("download_params_from_spec: need at least 2 paths");
   }
+  WorldBuilder b(spec);
   for (const PathSpec& path : spec.paths) {
     if (path.variation.kind != VariationKind::kNone) {
       throw std::invalid_argument(
@@ -98,12 +106,30 @@ DownloadParams download_params_from_spec(const ScenarioSpec& spec) {
   }
 
   DownloadParams p;
-  p.wifi_mbps = spec.paths[0].rate_mbps;
-  p.lte_mbps = spec.paths[1].rate_mbps;
+  // The historical two-path pure-profile form keeps the legacy construction
+  // (bench/golden byte-identity); anything else — more paths, tweaked path
+  // knobs — ships resolved PathConfigs to the runner's N-path world.
+  if (spec.paths.size() == 2 && b.pure_profile(0) && b.pure_profile(1)) {
+    p.wifi_mbps = spec.paths[0].rate_mbps;
+    p.lte_mbps = spec.paths[1].rate_mbps;
+  } else {
+    p.paths = b.path_configs();
+  }
   p.bytes = static_cast<std::uint64_t>(spec.workload.bytes);
   p.scheduler = spec.scheduler;
   p.cc = cc_kind_from_name(spec.conn.cc);
   p.seed = spec.seed;
+  if (spec.path_manager.enabled) {
+    p.use_path_manager = true;
+    p.path_manager = path_manager_config_from_spec(spec.path_manager);
+    if (spec.path_manager.backup.enabled) {
+      p.initial_paths = initial_path_indices(spec.path_manager, spec.paths.size());
+      if (p.initial_paths.empty()) {
+        throw std::invalid_argument(
+            "download_params_from_spec: every path is a backup path");
+      }
+    }
+  }
   return p;
 }
 

@@ -44,7 +44,9 @@ StreamingRun::StreamingRun(const StreamingRun& src, ForkTag) : params_(src.param
   construct(/*fork_shell=*/true);
   snapshot::require_construction_event_free(sim(), "StreamingRun::fork");
   bed_->world().restore_from(src.bed_->world());
+  if (pm_ != nullptr) pm_->restore_topology(*src.pm_);
   conn_->restore_from(*src.conn_);
+  if (pm_ != nullptr) pm_->restore_from(*src.pm_);
   http_->restore_from(*src.http_);
   session_->restore_from(*src.session_);
   if (wifi_sched_ != nullptr) wifi_sched_->restore_from(*src.wifi_sched_);
@@ -84,9 +86,16 @@ void StreamingRun::construct(bool fork_shell) {
   if (params_.staging_bytes > 0) tb.conn.subflow_staging_bytes = params_.staging_bytes;
 
   bed_ = std::make_unique<Testbed>(tb);
-  conn_ = bed_->make_connection(params_.scheduler_override
-                                    ? params_.scheduler_override
-                                    : scheduler_factory(params_.scheduler));
+  const SchedulerFactory& factory = params_.scheduler_override
+                                        ? params_.scheduler_override
+                                        : scheduler_factory(params_.scheduler);
+  conn_ = params_.initial_paths.empty()
+              ? bed_->make_connection(factory)
+              : bed_->world().make_connection_on(params_.initial_paths, factory);
+  if (params_.use_path_manager) {
+    std::vector<Path*> pm_paths = {&bed_->wifi(), &bed_->lte()};
+    pm_ = std::make_unique<PathManager>(*conn_, std::move(pm_paths), params_.path_manager);
+  }
   http_ = std::make_unique<HttpExchange>(bed_->sim(), *conn_, bed_->request_delay());
 
   DashConfig dc;
@@ -112,29 +121,33 @@ void StreamingRun::construct(bool fork_shell) {
   // occupancy still uses a periodic sampler, bounded by the run cap so the
   // drain-style Simulator::run() terminates. Fork shells defer the initial
   // tick; the source's samples arrive via restore_from.
+  // Samplers address subflows by slot id, not live-list position: the live
+  // list compacts under path-manager churn, and a torn-down slot samples 0.
   const std::size_t wifi_idx = 0;
-  const std::size_t lte_idx = static_cast<std::size_t>(params_.subflows_per_path);
-  auto& subflows = conn_->subflows();
+  const std::size_t lte_idx = params_.initial_paths.empty()
+                                  ? static_cast<std::size_t>(params_.subflows_per_path)
+                                  : 1;
+  Connection* conn = conn_.get();
+  const auto sample_slot = [conn](std::size_t slot) {
+    const Subflow* sf = conn->subflow_at(slot);
+    return sf != nullptr ? subflow_sndbuf_bytes(*sf) : 0.0;
+  };
   if (params_.collect_traces) {
     const TimePoint sample_until = cap_;
     if (fork_shell) {
       buf_wifi_ = std::make_unique<PeriodicSampler>(
           PeriodicSampler::deferred_t{}, bed_->sim(), Duration::millis(100),
-          [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
-          sample_until);
+          [sample_slot, wifi_idx] { return sample_slot(wifi_idx); }, sample_until);
       buf_lte_ = std::make_unique<PeriodicSampler>(
           PeriodicSampler::deferred_t{}, bed_->sim(), Duration::millis(100),
-          [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
-          sample_until);
+          [sample_slot, lte_idx] { return sample_slot(lte_idx); }, sample_until);
     } else {
       buf_wifi_ = std::make_unique<PeriodicSampler>(
           bed_->sim(), Duration::millis(100),
-          [&subflows, wifi_idx] { return subflow_sndbuf_bytes(*subflows[wifi_idx]); },
-          sample_until);
+          [sample_slot, wifi_idx] { return sample_slot(wifi_idx); }, sample_until);
       buf_lte_ = std::make_unique<PeriodicSampler>(
           bed_->sim(), Duration::millis(100),
-          [&subflows, lte_idx] { return subflow_sndbuf_bytes(*subflows[lte_idx]); },
-          sample_until);
+          [sample_slot, lte_idx] { return sample_slot(lte_idx); }, sample_until);
     }
   }
 
@@ -150,6 +163,7 @@ void StreamingRun::start() {
   assert(!started_);
   started_ = true;
   session_->start();
+  if (pm_ != nullptr) pm_->start();
   if (params_.heartbeat.enabled()) {
     bed_->sim().set_heartbeat(params_.heartbeat.interval_s, params_.heartbeat.fn);
   }
@@ -195,32 +209,42 @@ StreamingResult StreamingRun::finish() {
                               : params_.lte_mbps;
   const bool lte_fast = lte_mbps > wifi_mbps;  // tie -> WiFi (smaller base RTT)
 
-  const std::size_t wifi_idx = 0;
-  const std::size_t lte_idx = static_cast<std::size_t>(params_.subflows_per_path);
-  auto& subflows = conn_->subflows();
+  // Aggregate per slot so subflows torn down mid-run (path-manager churn)
+  // still contribute their bytes and IW resets via the retired-slot stats.
+  // Value-identical to walking the live list for static topologies.
   std::uint64_t bytes_wifi = 0, bytes_lte = 0;
   RunningStats rtt_wifi, rtt_lte;
-  for (std::size_t i = 0; i < subflows.size(); ++i) {
-    const Subflow& sf = *subflows[i];
-    const bool is_wifi = i < lte_idx;
+  for (std::size_t slot = 0; slot < conn_->slot_count(); ++slot) {
+    const bool is_wifi = conn_->slot_path(slot) == &bed_->wifi();
+    const Subflow* sf = conn_->subflow_at(slot);
+    const SubflowStats& st = sf != nullptr ? sf->stats() : conn_->retired_stats(slot);
     if (is_wifi) {
-      bytes_wifi += sf.stats().bytes_sent;
-      res.iw_resets_wifi += sf.stats().iw_resets;
-      if (sf.rtt().lifetime().count() > 0) rtt_wifi.add(sf.rtt().lifetime().mean());
+      bytes_wifi += st.bytes_sent;
+      res.iw_resets_wifi += st.iw_resets;
+      if (sf != nullptr && sf->rtt().lifetime().count() > 0) {
+        rtt_wifi.add(sf->rtt().lifetime().mean());
+      }
     } else {
-      bytes_lte += sf.stats().bytes_sent;
-      res.iw_resets_lte += sf.stats().iw_resets;
-      if (sf.rtt().lifetime().count() > 0) rtt_lte.add(sf.rtt().lifetime().mean());
+      bytes_lte += st.bytes_sent;
+      res.iw_resets_lte += st.iw_resets;
+      if (sf != nullptr && sf->rtt().lifetime().count() > 0) {
+        rtt_lte.add(sf->rtt().lifetime().mean());
+      }
     }
   }
   const std::uint64_t total = bytes_wifi + bytes_lte;
   const std::uint64_t fast_bytes = lte_fast ? bytes_lte : bytes_wifi;
   res.fraction_fast = total > 0 ? static_cast<double>(fast_bytes) / total : 0.0;
   res.reinjections = conn_->meta_stats().reinjections;
+  res.remapped_segments = conn_->meta_stats().remapped_segments;
   res.mean_rtt_wifi_ms = rtt_wifi.mean() * 1e3;
   res.mean_rtt_lte_ms = rtt_lte.mean() * 1e3;
 
   if (params_.collect_traces) {
+    const std::size_t wifi_idx = 0;
+    const std::size_t lte_idx = params_.initial_paths.empty()
+                                    ? static_cast<std::size_t>(params_.subflows_per_path)
+                                    : 1;
     MetricLabels labels;
     labels.conn = static_cast<std::int64_t>(conn_->config().conn_id);
     labels.subflow = static_cast<std::int64_t>(wifi_idx);
@@ -258,6 +282,7 @@ StreamingResult run_streaming_avg(StreamingParams params, int runs) {
     acc.iw_resets_wifi += one.iw_resets_wifi;
     acc.iw_resets_lte += one.iw_resets_lte;
     acc.reinjections += one.reinjections;
+    acc.remapped_segments += one.remapped_segments;
     acc.mean_rtt_wifi_ms += one.mean_rtt_wifi_ms;
     acc.mean_rtt_lte_ms += one.mean_rtt_lte_ms;
     acc.ooo_delay.merge(one.ooo_delay);
@@ -271,6 +296,7 @@ StreamingResult run_streaming_avg(StreamingParams params, int runs) {
     acc.iw_resets_wifi = static_cast<std::uint64_t>(acc.iw_resets_wifi / runs);
     acc.iw_resets_lte = static_cast<std::uint64_t>(acc.iw_resets_lte / runs);
     acc.reinjections = static_cast<std::uint64_t>(acc.reinjections / runs);
+    acc.remapped_segments = static_cast<std::uint64_t>(acc.remapped_segments / runs);
     acc.mean_rtt_wifi_ms /= n;
     acc.mean_rtt_lte_ms /= n;
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "app/dash.h"
+#include "mptcp/path_manager.h"
 #include "net/varbw.h"
 #include "sim/simulator.h"
 #include "tcp/cc.h"
@@ -56,6 +57,12 @@ struct StreamingParams {
   bool use_path_overrides = false;
   PathConfig wifi_override;
   PathConfig lte_override;
+  // When non-empty, the connection starts with one subflow per listed path
+  // index (0 = wifi, 1 = lte); backup paths join only on promotion.
+  std::vector<std::size_t> initial_paths;
+  // Dynamic path management (mptcp/path_manager.h); off by default.
+  bool use_path_manager = false;
+  PathManagerConfig path_manager;
 };
 
 struct StreamingResult {
@@ -66,6 +73,8 @@ struct StreamingResult {
   std::uint64_t iw_resets_wifi = 0;
   std::uint64_t iw_resets_lte = 0;
   std::uint64_t reinjections = 0;
+  // Segments re-scheduled after an abandon teardown (path-manager churn).
+  std::uint64_t remapped_segments = 0;
   Duration rebuffer_time = Duration::zero();
   int chunks_fetched = 0;
   Samples ooo_delay;        // seconds, per delivered packet
@@ -99,6 +108,8 @@ class StreamingRun {
   Simulator& sim();
   FlightRecorder* recorder() const { return rec_; }
   Connection& connection() { return *conn_; }
+  // Null unless params.use_path_manager.
+  PathManager* path_manager() { return pm_.get(); }
 
   // Forks this run at the current simulation time: an independent copy with
   // its own world, event queue, and recorder clone, bit-identical from here
@@ -123,6 +134,7 @@ class StreamingRun {
   FlightRecorder* rec_ = nullptr;
   std::unique_ptr<Testbed> bed_;
   std::unique_ptr<Connection> conn_;
+  std::unique_ptr<PathManager> pm_;
   std::unique_ptr<HttpExchange> http_;
   std::unique_ptr<DashSession> session_;
   std::unique_ptr<BandwidthSchedule> wifi_sched_, lte_sched_;

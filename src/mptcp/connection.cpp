@@ -40,29 +40,45 @@ Connection::Connection(Simulator& sim, ConnectionConfig config, std::vector<Path
   subflows_.reserve(paths.size());
   receivers_.reserve(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    SubflowConfig sc;
-    sc.id = static_cast<std::uint32_t>(i);
-    sc.conn_id = config_.conn_id;
-    sc.mss = config_.mss;
-    sc.initial_cwnd = config_.initial_cwnd;
-    sc.idle_cwnd_reset = config_.idle_cwnd_reset;
-    sc.staging_limit_bytes = config_.subflow_staging_bytes;
-    if (i > 0 && config_.delayed_secondary_join) {
-      sc.join_delay = paths[i]->rtt_base();  // MP_JOIN handshake
-    }
+    const Duration join_delay = i > 0 && config_.delayed_secondary_join
+                                    ? paths[i]->rtt_base()  // MP_JOIN handshake
+                                    : Duration::zero();
+    const SubflowConfig sc =
+        subflow_config_for(static_cast<std::uint32_t>(i), join_delay);
     subflows_.push_back(
         std::make_unique<Subflow>(sim_, sc, *paths[i], make_cc(config_.cc), this));
     subflow_ptrs_.push_back(subflows_.back().get());
     receivers_.push_back(std::make_unique<SubflowReceiver>(
         sim_, config_.conn_id, sc.id, *paths[i], this));
+    slot_paths_.push_back(paths[i]);
+    retired_stats_.emplace_back();
   }
 
+  // Slots may be null after mid-connection teardown; stray packets for a
+  // finalized subflow (late duplicate acks, post-abandon data) are dropped,
+  // the RST-less analogue of landing on a closed port.
   down_mux_.add_route(config_.conn_id, [this](const Packet& p) {
-    if (p.subflow_id < receivers_.size()) receivers_[p.subflow_id]->on_data_packet(p);
+    if (p.subflow_id < receivers_.size() && receivers_[p.subflow_id] != nullptr) {
+      receivers_[p.subflow_id]->on_data_packet(p);
+    }
   });
   up_mux_.add_route(config_.conn_id, [this](const Packet& p) {
-    if (p.subflow_id < subflows_.size()) subflows_[p.subflow_id]->on_ack_packet(p);
+    if (p.subflow_id < subflows_.size() && subflows_[p.subflow_id] != nullptr) {
+      subflows_[p.subflow_id]->on_ack_packet(p);
+    }
   });
+}
+
+SubflowConfig Connection::subflow_config_for(std::uint32_t id, Duration join_delay) const {
+  SubflowConfig sc;
+  sc.id = id;
+  sc.conn_id = config_.conn_id;
+  sc.mss = config_.mss;
+  sc.initial_cwnd = config_.initial_cwnd;
+  sc.idle_cwnd_reset = config_.idle_cwnd_reset;
+  sc.staging_limit_bytes = config_.subflow_staging_bytes;
+  sc.join_delay = join_delay;
+  return sc;
 }
 
 Connection::Instruments& Connection::detached_instruments() {
@@ -77,6 +93,119 @@ Connection::~Connection() {
   // still queued; those lambdas capture `this` and must not fire.
   if (sendable_post_pending_) sim_.cancel(sendable_post_id_);
   if (deliver_post_pending_) sim_.cancel(deliver_post_id_);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic path management
+
+std::uint32_t Connection::add_subflow(Path& path, Duration join_delay) {
+  const std::uint32_t id = static_cast<std::uint32_t>(subflows_.size());
+  subflows_.push_back(std::make_unique<Subflow>(
+      sim_, subflow_config_for(id, join_delay), path, make_cc(config_.cc), this));
+  receivers_.push_back(
+      std::make_unique<SubflowReceiver>(sim_, config_.conn_id, id, path, this));
+  slot_paths_.push_back(&path);
+  retired_stats_.emplace_back();
+  rebuild_subflow_ptrs();
+  scheduler_->on_subflow_change(*this);
+  MPS_TRACE_EVENT(sim_, EventType::kSubflowChange, config_.conn_id, id, {"op", "add"});
+  return id;
+}
+
+void Connection::remove_subflow(std::uint32_t id, TeardownMode mode) {
+  assert(id < subflows_.size() && subflows_[id] != nullptr);
+  Subflow& sf = *subflows_[id];
+  if (mode == TeardownMode::kDrain && !sf.drained()) {
+    sf.begin_drain();
+    // Membership is unchanged (a draining subflow stays visible so its
+    // in-flight data keeps counting), but its eligibility flipped.
+    scheduler_->on_subflow_change(*this);
+    MPS_TRACE_EVENT(sim_, EventType::kSubflowChange, config_.conn_id, id,
+                    {"op", "drain"});
+    return;
+  }
+  // Abandon (or drain with nothing outstanding): every data range the
+  // subflow still holds a sender copy of moves to the remap queue before the
+  // slot dies, so the conservation invariant never sees a gap. Ranges whose
+  // data the peer already meta-acked are skipped; remapped duplicates of
+  // SACKed data are dropped by the meta receiver.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  sf.collect_data_ranges(ranges);
+  std::sort(ranges.begin(), ranges.end());
+  for (const auto& [begin, end] : ranges) {
+    if (end <= data_una_) continue;
+    remap_queue_.push_back(
+        SegmentRef{begin, static_cast<std::uint32_t>(end - begin)});
+    remap_bytes_ += end - begin;
+  }
+  finalize_subflow(id);
+  scheduler_->on_subflow_change(*this);
+  MPS_TRACE_EVENT(sim_, EventType::kSubflowChange, config_.conn_id, id,
+                  {"op", "abandon"}, {"remap_bytes", remap_bytes_});
+  if (!remap_queue_.empty()) try_send();
+}
+
+std::size_t Connection::finalize_drained() {
+  std::size_t finalized = 0;
+  for (std::uint32_t id = 0; id < subflows_.size(); ++id) {
+    Subflow* sf = subflows_[id].get();
+    if (sf == nullptr || !sf->draining() || !sf->drained()) continue;
+    finalize_subflow(id);
+    ++finalized;
+  }
+  if (finalized > 0) scheduler_->on_subflow_change(*this);
+  return finalized;
+}
+
+void Connection::finalize_subflow(std::uint32_t id) {
+  retired_stats_[id] = subflows_[id]->stats();
+  subflows_[id].reset();
+  receivers_[id].reset();
+  rebuild_subflow_ptrs();
+}
+
+void Connection::rebuild_subflow_ptrs() {
+  subflow_ptrs_.clear();
+  for (const auto& sf : subflows_) {
+    if (sf != nullptr) subflow_ptrs_.push_back(sf.get());
+  }
+}
+
+std::uint64_t Connection::bytes_sent_on(const Path& path) const {
+  std::uint64_t total = 0;
+  for (std::size_t slot = 0; slot < subflows_.size(); ++slot) {
+    if (slot_paths_[slot] != &path) continue;
+    total += subflows_[slot] != nullptr ? subflows_[slot]->stats().bytes_sent
+                                        : retired_stats_[slot].bytes_sent;
+  }
+  return total;
+}
+
+void Connection::collect_remap_ranges(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+  for (std::size_t i = 0; i < remap_queue_.size(); ++i) {
+    const SegmentRef& seg = remap_queue_.at(i);
+    out.emplace_back(seg.data_seq, seg.data_seq + seg.payload);
+  }
+}
+
+void Connection::service_remap_queue() {
+  while (!remap_queue_.empty()) {
+    const SegmentRef seg = remap_queue_.front();
+    if (seg.data_seq + seg.payload <= data_una_) {
+      // Meta-acked while queued (a duplicate copy elsewhere delivered it).
+      remap_queue_.pop_front();
+      remap_bytes_ -= seg.payload;
+      continue;
+    }
+    Subflow* sf = scheduler_->pick(*this);
+    if (sf == nullptr || !sf->can_accept()) break;
+    scheduler_->note_scheduled(sf->id());
+    sf->assign_segment(seg.data_seq, seg.payload, /*reinjection=*/true);
+    remap_queue_.pop_front();
+    remap_bytes_ -= seg.payload;
+    ++meta_stats_.remapped_segments;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -108,6 +237,8 @@ void Connection::try_send() {
 
   for (Subflow* sf : subflow_ptrs_) sf->poll();
 
+  service_remap_queue();
+
   while (send_queue_bytes_ > 0) {
     if (meta_inflight() >= rwnd_) {
       ++meta_stats_.window_stalls;
@@ -129,9 +260,11 @@ void Connection::try_send() {
     sf->assign_segment(next_data_seq_, payload);
     if (scheduler_->duplicate_to_all()) {
       // Redundant semantics: a copy committed to every other subflow with
-      // send-queue room, de-duplicated by the meta receiver.
+      // send-queue room, de-duplicated by the meta receiver. Never onto a
+      // draining subflow — a duplicate staged there would keep it from ever
+      // reaching drained(), and an abandon would re-queue the copy again.
       for (Subflow* other : subflow_ptrs_) {
-        if (other == sf || !other->can_accept()) continue;
+        if (other == sf || other->draining() || !other->can_accept()) continue;
         other->assign_segment(next_data_seq_, payload, /*reinjection=*/true);
       }
     }
@@ -207,6 +340,7 @@ void Connection::fire_sendable() {
 void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
   out.reserve(subflows_.size());
   for (const auto& sf : subflows_) {
+    if (sf == nullptr) continue;
     CcSiblingInfo info;
     info.subflow_id = sf->id();
     info.cwnd = sf->cwnd();
@@ -341,6 +475,26 @@ void Connection::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
 }
 
 void Connection::restore_from(const Connection& src) {
+  // Slot-topology reconciliation. The fork shell was constructed with the
+  // connection's initial slots; slots the source added later must already
+  // have been re-created in id order (PathManager::restore_topology does
+  // this before the connection restore). Slots the source finalized are
+  // destroyed here, so the per-slot restores below are null-isomorphic.
+  assert(subflows_.size() == src.subflows_.size());
+  bool slots_changed = false;
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    if (src.subflows_[i] == nullptr && subflows_[i] != nullptr) {
+      subflows_[i].reset();
+      receivers_[i].reset();
+      slots_changed = true;
+    }
+    assert((subflows_[i] == nullptr) == (src.subflows_[i] == nullptr));
+  }
+  if (slots_changed) rebuild_subflow_ptrs();
+  retired_stats_ = src.retired_stats_;
+  remap_queue_ = src.remap_queue_;
+  remap_bytes_ = src.remap_bytes_;
+
   // Sender state.
   send_queue_bytes_ = src.send_queue_bytes_;
   next_data_seq_ = src.next_data_seq_;
@@ -374,10 +528,10 @@ void Connection::restore_from(const Connection& src) {
 
   scheduler_->restore_from(*src.scheduler_);
   for (std::size_t i = 0; i < subflows_.size(); ++i) {
-    subflows_[i]->restore_from(*src.subflows_[i]);
+    if (subflows_[i] != nullptr) subflows_[i]->restore_from(*src.subflows_[i]);
   }
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
-    receivers_[i]->restore_from(*src.receivers_[i]);
+    if (receivers_[i] != nullptr) receivers_[i]->restore_from(*src.receivers_[i]);
   }
 }
 

@@ -67,6 +67,7 @@ struct MetaStats {
   std::uint64_t delivered_bytes = 0;       // in-order bytes handed to the app
   std::uint64_t duplicate_segments = 0;    // dropped at meta level
   std::uint64_t reinjections = 0;          // opportunistic retransmissions
+  std::uint64_t remapped_segments = 0;     // re-scheduled after abandon teardown
   std::uint64_t window_stalls = 0;         // scheduling blocked by meta rwnd
   std::uint64_t segments_scheduled = 0;
 };
@@ -121,6 +122,55 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   std::uint64_t meta_inflight() const { return next_data_seq_ - data_una_; }
   std::uint64_t send_window() const { return rwnd_; }
 
+  // --- dynamic path management (mptcp/path_manager.h) -----------------------
+  // Subflows live in id-indexed slots: slot index == subflow id, ids are
+  // never reused, and teardown leaves a null slot behind. subflows() is the
+  // compacted live list (including draining members) that schedulers
+  // iterate; the slot views below are for the invariant checker, snapshot
+  // restore, and per-path reporting.
+  //
+  // Opens a new subflow on `path`, established after `join_delay` (the
+  // MP_JOIN handshake analogue). Event-free, like construction; the caller
+  // (normally the PathManager tick) is responsible for kicking the
+  // connection once the subflow establishes. Returns the new subflow's id.
+  std::uint32_t add_subflow(Path& path, Duration join_delay);
+  enum class TeardownMode {
+    kDrain,    // stop new work; deliver everything committed, then finalize
+    kAbandon,  // tear down now; unacked data re-queued for other subflows
+  };
+  // Begins RST-less teardown of subflow `id`. kDrain marks the subflow
+  // draining (finalized later via finalize_drained); kAbandon destroys it
+  // immediately after moving every data range it still held a copy of onto
+  // the remap queue, which try_send re-schedules onto surviving subflows —
+  // this is what keeps the checker's conservation invariant intact.
+  void remove_subflow(std::uint32_t id, TeardownMode mode);
+  // Destroys draining subflows that have delivered everything they held.
+  // Never called from packet-processing stacks (the PathManager tick drives
+  // it), so a subflow is never destroyed under its own ack. Returns the
+  // number of slots finalized.
+  std::size_t finalize_drained();
+  // Runs a scheduling round; the PathManager tick calls this so newly
+  // established subflows start carrying data even when no ack clock is
+  // running (e.g. a break-before-make window with zero live subflows).
+  void kick() { try_send(); }
+
+  std::size_t slot_count() const { return subflows_.size(); }
+  const Subflow* subflow_at(std::size_t slot) const { return subflows_[slot].get(); }
+  const SubflowReceiver* receiver_at(std::size_t slot) const {
+    return receivers_[slot].get();
+  }
+  // The path slot `slot`'s subflow runs (ran) over; survives finalization.
+  const Path* slot_path(std::size_t slot) const { return slot_paths_[slot]; }
+  // Final stats of a finalized slot (zeros while the subflow is live).
+  const SubflowStats& retired_stats(std::size_t slot) const {
+    return retired_stats_[slot];
+  }
+  // Payload bytes originally sent over `path`, live and retired slots
+  // combined (per-interface reporting that survives subflow churn).
+  std::uint64_t bytes_sent_on(const Path& path) const;
+  // Bytes awaiting re-scheduling after an abandon teardown.
+  std::uint64_t remap_bytes() const { return remap_bytes_; }
+
   // --- diagnostics -----------------------------------------------------------
   const MetaStats& meta_stats() const { return meta_stats_; }
   // Out-of-order delay samples (seconds), one per delivered packet.
@@ -149,10 +199,12 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   std::size_t meta_ooo_segments() const { return meta_ooo_.size(); }
   std::uint64_t pending_deliver_bytes() const { return pending_deliver_bytes_; }
   std::size_t receiver_count() const { return receivers_.size(); }
-  const SubflowReceiver& receiver(std::size_t i) const { return *receivers_[i]; }
   // Appends the [data_seq, data_seq + payload) range of every segment held
   // in the meta reorder buffer.
   void collect_ooo_ranges(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const;
+  // Appends the range of every remap-queue entry (sender-side copies of data
+  // abandoned with its subflow, not yet re-scheduled).
+  void collect_remap_ranges(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const;
 
   // --- SubflowEnv ------------------------------------------------------------
   void on_subflow_ack(Subflow& sf) override;
@@ -174,6 +226,15 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
  private:
   void try_send();
   void try_opportunistic_retransmit();
+  // Re-schedules remap-queue entries (data abandoned with a torn-down
+  // subflow) onto scheduler-picked survivors. Runs before the regular
+  // scheduling loop and outside the meta-window check: remapped bytes are
+  // already inside meta_inflight(), so gating them on rwnd would deadlock.
+  void service_remap_queue();
+  SubflowConfig subflow_config_for(std::uint32_t id, Duration join_delay) const;
+  void rebuild_subflow_ptrs();
+  // Destroys slot `id` (sender + receiver), recording its final stats.
+  void finalize_subflow(std::uint32_t id);
   void flush_deliveries();
   void notify_sendable();
   // Deferred-post bodies, named so restore_from can rebind the cloned posts
@@ -187,9 +248,15 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   Mux& down_mux_;
   Mux& up_mux_;
 
+  // Id-indexed slots (null after teardown) plus the compacted live list.
   std::vector<std::unique_ptr<Subflow>> subflows_;
   std::vector<Subflow*> subflow_ptrs_;
   std::vector<std::unique_ptr<SubflowReceiver>> receivers_;
+  std::vector<Path*> slot_paths_;           // per slot; survives finalization
+  std::vector<SubflowStats> retired_stats_;  // per slot; zeros while live
+  // Data ranges abandoned with a torn-down subflow, awaiting re-scheduling.
+  RingDeque<SegmentRef> remap_queue_;
+  std::uint64_t remap_bytes_ = 0;
 
   // Sender state.
   std::uint64_t send_queue_bytes_ = 0;  // accepted, not yet scheduled

@@ -51,6 +51,14 @@ class Scheduler {
   // Clears per-connection state (a fresh connection reuses the object).
   virtual void reset() {}
 
+  // The connection's subflow set changed: a subflow was added, entered the
+  // draining teardown state, or was finalized (mptcp/path_manager.h).
+  // Schedulers holding references into the subflow list — DAPS's departure
+  // plan, round-robin's cursor — revalidate or rebuild here. Called after
+  // the membership change is visible through conn.subflows(). Default: no
+  // state to fix up.
+  virtual void on_subflow_change(Connection& conn) { static_cast<void>(conn); }
+
   // Snapshot support (exp/snapshot.h): copies mutable scheduling state from
   // `src`, which must be the same concrete type. Stateful schedulers (ECF's
   // waiting flag, BLEST's lambda, DAPS's plan, round-robin's cursor)

@@ -22,6 +22,7 @@ const char* event_type_name(EventType t) {
     case EventType::kLinkDrop: return "link_drop";
     case EventType::kSchedPick: return "sched_pick";
     case EventType::kSchedWait: return "sched_wait";
+    case EventType::kSubflowChange: return "subflow_change";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class EventType : std::uint8_t {
   kLinkDrop,       // packet dropped at a link (queue overflow / random)
   kSchedPick,      // scheduler chose a subflow for the next segment
   kSchedWait,      // scheduler deliberately declined all subflows
+  kSubflowChange,  // subflow added, set draining, or finalized (path manager)
 };
 
 // Stable wire name ("pkt_send", "sched_wait", ...).

@@ -389,6 +389,96 @@ TrafficSpec parse_traffic(const Json& j, const std::string& path, std::size_t n_
   return t;
 }
 
+std::vector<std::int64_t> parse_path_index_array(ObjectReader& r, const std::string& key,
+                                                 std::size_t n_paths) {
+  std::vector<std::int64_t> out;
+  const Json* a = r.get(key);
+  if (a == nullptr) return out;
+  if (!a->is_array()) spec_error(r.key_path(key), "expected an array of path indices");
+  for (std::size_t i = 0; i < a->items().size(); ++i) {
+    const Json& e = a->items()[i];
+    const std::string epath = r.key_path(key) + "[" + std::to_string(i) + "]";
+    if (!e.is_int()) spec_error(epath, "expected an integer path index");
+    const std::int64_t idx = e.as_int();
+    if (idx < 0 || static_cast<std::size_t>(idx) >= n_paths) {
+      spec_error(epath, "path index out of range (have " + std::to_string(n_paths) + " paths)");
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+PathManagerSpec parse_path_manager(const Json& j, const std::string& path,
+                                   std::size_t n_paths) {
+  ObjectReader r(j, path);
+  PathManagerSpec pm;
+  pm.enabled = true;
+  pm.tick_ms = r.number("tick_ms", pm.tick_ms);
+  if (pm.tick_ms <= 0.0) spec_error(r.key_path("tick_ms"), "must be > 0");
+  pm.drain_timeout_s = r.number("drain_timeout_s", pm.drain_timeout_s);
+  if (pm.drain_timeout_s <= 0.0) spec_error(r.key_path("drain_timeout_s"), "must be > 0");
+  pm.join_delay_rtt = r.boolean("join_delay_rtt", pm.join_delay_rtt);
+
+  if (const Json* ev = r.get("events")) {
+    if (!ev->is_array()) spec_error(r.key_path("events"), "expected an array");
+    double prev_at = 0.0;
+    for (std::size_t i = 0; i < ev->items().size(); ++i) {
+      const std::string epath = r.key_path("events") + "[" + std::to_string(i) + "]";
+      ObjectReader er(ev->items()[i], epath);
+      PathEventSpec e;
+      e.at_s = er.number("at_s", e.at_s);
+      if (e.at_s < 0.0) spec_error(epath + ".at_s", "must be >= 0");
+      if (e.at_s < prev_at) spec_error(epath + ".at_s", "events must be sorted by at_s");
+      prev_at = e.at_s;
+      e.action = er.str("action", e.action);
+      if (e.action != "add" && e.action != "remove") {
+        spec_error(epath + ".action",
+                   "unknown action \"" + e.action + "\" (known: add, remove)");
+      }
+      e.path = er.integer("path", e.path);
+      if (e.path < 0 || static_cast<std::size_t>(e.path) >= n_paths) {
+        spec_error(epath + ".path",
+                   "path index out of range (have " + std::to_string(n_paths) + " paths)");
+      }
+      e.mode = er.str("mode", e.mode);
+      if (e.mode != "drain" && e.mode != "abandon") {
+        spec_error(epath + ".mode", "unknown mode \"" + e.mode + "\" (known: drain, abandon)");
+      }
+      er.finish();
+      pm.events.push_back(std::move(e));
+    }
+  }
+
+  if (const Json* cap = r.get("cap")) {
+    ObjectReader cr(*cap, r.key_path("cap"));
+    pm.cap.enabled = true;
+    pm.cap.max_subflows = cr.integer("max_subflows", pm.cap.max_subflows);
+    if (pm.cap.max_subflows <= 0) spec_error(cr.key_path("max_subflows"), "must be > 0");
+    pm.cap.bytes_per_subflow = cr.integer("bytes_per_subflow", pm.cap.bytes_per_subflow);
+    if (pm.cap.bytes_per_subflow <= 0) {
+      spec_error(cr.key_path("bytes_per_subflow"), "must be > 0");
+    }
+    pm.cap.paths = parse_path_index_array(cr, "paths", n_paths);
+    if (pm.cap.paths.empty()) spec_error(cr.key_path("paths"), "required (non-empty)");
+    cr.finish();
+  }
+
+  if (const Json* b = r.get("backup")) {
+    ObjectReader br(*b, r.key_path("backup"));
+    pm.backup.enabled = true;
+    pm.backup.paths = parse_path_index_array(br, "paths", n_paths);
+    if (pm.backup.paths.empty()) spec_error(br.key_path("paths"), "required (non-empty)");
+    pm.backup.promote_after_rtos = br.integer("promote_after_rtos", pm.backup.promote_after_rtos);
+    if (pm.backup.promote_after_rtos <= 0) {
+      spec_error(br.key_path("promote_after_rtos"), "must be > 0");
+    }
+    br.finish();
+  }
+
+  r.finish();
+  return pm;
+}
+
 RecordSpec parse_record(const Json& j, const std::string& path) {
   ObjectReader r(j, path);
   RecordSpec rec;
@@ -428,6 +518,12 @@ ScenarioSpec scenario_from_json(const Json& j) {
   if (const Json* w = r.get("workload")) s.workload = parse_workload(*w, "workload");
   if (const Json* t = r.get("traffic")) {
     s.traffic = parse_traffic(*t, "traffic", s.paths.size());
+  }
+  if (const Json* pm = r.get("path_manager")) {
+    s.path_manager = parse_path_manager(*pm, "path_manager", s.paths.size());
+    if (s.traffic.enabled) {
+      spec_error("path_manager", "not supported together with a traffic block");
+    }
   }
   const std::int64_t seed = r.integer("seed", static_cast<std::int64_t>(s.seed));
   if (seed < 0) spec_error("seed", "must be >= 0");
@@ -570,6 +666,44 @@ Json scenario_to_json(const ScenarioSpec& s) {
       t.set("cross", std::move(arr));
     }
     j.set("traffic", std::move(t));
+  }
+
+  if (s.path_manager.enabled) {
+    const PathManagerSpec& pm = s.path_manager;
+    Json p = Json::object();
+    p.set("tick_ms", Json::number(pm.tick_ms));
+    p.set("drain_timeout_s", Json::number(pm.drain_timeout_s));
+    p.set("join_delay_rtt", Json::boolean(pm.join_delay_rtt));
+    if (!pm.events.empty()) {
+      Json arr = Json::array();
+      for (const PathEventSpec& e : pm.events) {
+        Json ev = Json::object();
+        ev.set("at_s", Json::number(e.at_s));
+        ev.set("action", Json::string(e.action));
+        ev.set("path", Json::number(e.path));
+        ev.set("mode", Json::string(e.mode));
+        arr.push_back(std::move(ev));
+      }
+      p.set("events", std::move(arr));
+    }
+    if (pm.cap.enabled) {
+      Json c = Json::object();
+      c.set("max_subflows", Json::number(pm.cap.max_subflows));
+      c.set("bytes_per_subflow", Json::number(pm.cap.bytes_per_subflow));
+      Json arr = Json::array();
+      for (std::int64_t idx : pm.cap.paths) arr.push_back(Json::number(idx));
+      c.set("paths", std::move(arr));
+      p.set("cap", std::move(c));
+    }
+    if (pm.backup.enabled) {
+      Json b = Json::object();
+      Json arr = Json::array();
+      for (std::int64_t idx : pm.backup.paths) arr.push_back(Json::number(idx));
+      b.set("paths", std::move(arr));
+      b.set("promote_after_rtos", Json::number(pm.backup.promote_after_rtos));
+      p.set("backup", std::move(b));
+    }
+    j.set("path_manager", std::move(p));
   }
 
   j.set("seed", Json::number(static_cast<std::int64_t>(s.seed)));

@@ -185,6 +185,50 @@ struct TrafficSpec {
   friend bool operator==(const TrafficSpec&, const TrafficSpec&) = default;
 };
 
+// One scripted subflow add/remove (mptcp/path_manager.h timed actions).
+struct PathEventSpec {
+  double at_s = 0.0;
+  std::string action = "add";  // "add" | "remove"
+  std::int64_t path = 0;       // index into ScenarioSpec::paths
+  std::string mode = "drain";  // "remove" teardown: "drain" | "abandon"
+
+  friend bool operator==(const PathEventSpec&, const PathEventSpec&) = default;
+};
+
+// Cap-N growth sub-block (htsim subflow_control shape). Enabled by presence.
+struct SubflowCapSpec {
+  bool enabled = false;
+  std::int64_t max_subflows = 4;
+  std::int64_t bytes_per_subflow = 64 * 1024;
+  std::vector<std::int64_t> paths;  // round-robin growth targets
+
+  friend bool operator==(const SubflowCapSpec&, const SubflowCapSpec&) = default;
+};
+
+// Backup-promotion sub-block. Enabled by presence.
+struct BackupSpec {
+  bool enabled = false;
+  std::vector<std::int64_t> paths;   // held in reserve, no subflow at start
+  std::int64_t promote_after_rtos = 2;
+
+  friend bool operator==(const BackupSpec&, const BackupSpec&) = default;
+};
+
+// Dynamic path management (mptcp/path_manager.h). Enabled by the presence of
+// a "path_manager" JSON block. Paths listed in backup.paths start without a
+// subflow; everything else gets subflows_per_path as usual.
+struct PathManagerSpec {
+  bool enabled = false;
+  double tick_ms = 10.0;
+  double drain_timeout_s = 2.0;
+  bool join_delay_rtt = true;
+  std::vector<PathEventSpec> events;  // must be sorted by at_s
+  SubflowCapSpec cap;
+  BackupSpec backup;
+
+  friend bool operator==(const PathManagerSpec&, const PathManagerSpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name;  // free-form label, not used by the builder
   std::vector<PathSpec> paths;  // construction (and RNG fork) order
@@ -193,6 +237,7 @@ struct ScenarioSpec {
   ConnSpec conn;
   WorkloadSpec workload;
   TrafficSpec traffic;  // competing-traffic block; workload ignored when enabled
+  PathManagerSpec path_manager;  // subflow churn block; absent = static topology
   std::uint64_t seed = 1;
   // Master seed for generated bandwidth traces (kRandom/kJitter): one
   // Rng(trace_seed) is forked once per varied path, in path order.

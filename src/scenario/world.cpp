@@ -220,4 +220,48 @@ std::unique_ptr<World> WorldBuilder::build(FlightRecorder* recorder) {
   return std::make_unique<World>(world_config(recorder_));
 }
 
+PathManagerConfig path_manager_config_from_spec(const PathManagerSpec& spec) {
+  PathManagerConfig c;
+  c.tick = Duration::from_seconds(spec.tick_ms * 1e-3);
+  c.drain_timeout = Duration::from_seconds(spec.drain_timeout_s);
+  c.join_delay_rtt = spec.join_delay_rtt;
+  for (const PathEventSpec& e : spec.events) {
+    PathManagerConfig::TimedAction a;
+    a.at = TimePoint::origin() + Duration::from_seconds(e.at_s);
+    a.op = e.action == "add" ? PathManagerConfig::TimedAction::Op::kAdd
+                             : PathManagerConfig::TimedAction::Op::kRemove;
+    a.path = static_cast<std::size_t>(e.path);
+    a.mode = e.mode == "abandon" ? Connection::TeardownMode::kAbandon
+                                 : Connection::TeardownMode::kDrain;
+    c.actions.push_back(a);
+  }
+  if (spec.backup.enabled) {
+    for (std::int64_t p : spec.backup.paths) {
+      c.backup_paths.push_back(static_cast<std::size_t>(p));
+    }
+    c.promote_after_rtos = static_cast<int>(spec.backup.promote_after_rtos);
+  }
+  if (spec.cap.enabled) {
+    c.max_subflows = static_cast<int>(spec.cap.max_subflows);
+    c.bytes_per_subflow = static_cast<std::uint64_t>(spec.cap.bytes_per_subflow);
+    for (std::int64_t p : spec.cap.paths) {
+      c.growth_paths.push_back(static_cast<std::size_t>(p));
+    }
+  }
+  return c;
+}
+
+std::vector<std::size_t> initial_path_indices(const PathManagerSpec& spec,
+                                              std::size_t n_paths) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    bool backup = false;
+    for (std::int64_t b : spec.backup.paths) {
+      if (static_cast<std::size_t>(b) == i) { backup = true; break; }
+    }
+    if (!backup) out.push_back(i);
+  }
+  return out;
+}
+
 }  // namespace mps

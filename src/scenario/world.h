@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mptcp/connection.h"
+#include "mptcp/path_manager.h"
 #include "net/mux.h"
 #include "net/path.h"
 #include "net/varbw.h"
@@ -141,5 +142,16 @@ class WorldBuilder {
   std::unique_ptr<FlightRecorder> owned_recorder_;
   FlightRecorder* recorder_ = nullptr;
 };
+
+// --- path-manager resolution ------------------------------------------------
+// PathManagerSpec -> runtime PathManagerConfig (mptcp/path_manager.h):
+// seconds/ms literals become Durations, event at_s become TimePoints from the
+// simulation origin, and the spec's teardown-mode strings become enum values.
+PathManagerConfig path_manager_config_from_spec(const PathManagerSpec& spec);
+
+// The path indices the connection starts with subflows on: all of them,
+// minus the spec's backup paths (those join only on promotion).
+std::vector<std::size_t> initial_path_indices(const PathManagerSpec& spec,
+                                              std::size_t n_paths);
 
 }  // namespace mps

@@ -18,13 +18,13 @@ void DapsScheduler::rebuild_plan(Connection& conn) {
 
   double rtt_max = 0.0;
   for (Subflow* sf : conn.subflows()) {
-    if (!sf->established()) continue;
+    if (!sf->schedulable()) continue;
     rtt_max = std::max(rtt_max, sf->rtt_estimate().to_seconds());
   }
   if (rtt_max <= 0.0) return;
 
   for (Subflow* sf : conn.subflows()) {
-    if (!sf->established()) continue;
+    if (!sf->schedulable()) continue;
     const double rtt = std::max(sf->rtt_estimate().to_seconds(), 1e-6);
     const double cwnd = std::max(sf->cwnd(), 1.0);
     // Slots this subflow can serve during one period of rtt_max.
@@ -51,9 +51,18 @@ Subflow* DapsScheduler::pick(Connection& conn) {
   auto& subflows = conn.subflows();
   while (pos_ < plan_.size()) {
     const std::uint32_t id = plan_[pos_];
-    Subflow* sf = id < subflows.size() ? subflows[id] : nullptr;
-    if (sf == nullptr || !sf->established()) {
-      ++pos_;  // subflow vanished; skip its slots
+    // Resolve the planned id by search: the live list compacts under
+    // mid-connection teardown, so ids and indices diverge — indexing by id
+    // would hand the slot to a different subflow (or read past the end).
+    Subflow* sf = nullptr;
+    for (Subflow* candidate : subflows) {
+      if (candidate->id() == id) {
+        sf = candidate;
+        break;
+      }
+    }
+    if (sf == nullptr || !sf->schedulable()) {
+      ++pos_;  // subflow vanished or is draining; skip its slots
       continue;
     }
     if (sf->can_accept()) {

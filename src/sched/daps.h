@@ -34,6 +34,16 @@ class DapsScheduler final : public Scheduler {
   // Exposed for tests: remaining planned slots.
   std::size_t plan_remaining() const { return plan_.size() - pos_; }
 
+  // A subflow joined, started draining, or was finalized: the departure
+  // plan's slot mix (and possibly its subflow ids) is stale — drop it and
+  // re-plan from the surviving subflows at the next pick. Keeping the old
+  // plan would strictly wait on a subflow that can no longer accept.
+  void on_subflow_change(Connection& conn) override {
+    static_cast<void>(conn);
+    plan_.clear();
+    pos_ = 0;
+  }
+
   void restore_from(const Scheduler& src) override {
     Scheduler::restore_from(src);
     const auto& other = static_cast<const DapsScheduler&>(src);

@@ -99,11 +99,11 @@ void Subflow::maybe_idle_reset() {
 }
 
 bool Subflow::can_send() const {
-  return established() && available_cwnd() >= 1;
+  return established() && !draining_ && available_cwnd() >= 1;
 }
 
 bool Subflow::can_accept() const {
-  return established() && staged_bytes_ < config_.staging_limit_bytes;
+  return established() && !draining_ && staged_bytes_ < config_.staging_limit_bytes;
 }
 
 void Subflow::assign_segment(std::uint64_t data_seq, std::uint32_t payload,
@@ -583,6 +583,7 @@ void Subflow::restore_from(const Subflow& src) {
   rto_backoff_ = src.rto_backoff_;
   rack_delivered_ts_ = src.rack_delivered_ts_;
   established_at_ = src.established_at_;
+  draining_ = src.draining_;
   cwnd_full_at_send_ = src.cwnd_full_at_send_;
   last_send_time_ = src.last_send_time_;
   last_penalty_ = src.last_penalty_;

@@ -130,6 +130,17 @@ class Subflow final {
   Path& path() { return path_; }
   const Path& path() const { return path_; }
   bool established() const { return sim_.now() >= established_at_; }
+  // --- teardown state (mptcp/path_manager.h) -------------------------------
+  // A draining subflow keeps its ack clock and loss-recovery machinery but
+  // takes no new work: can_send()/can_accept() go false, so schedulers, the
+  // redundant duplicate loop, and opportunistic reinjection all skip it. The
+  // owning connection finalizes (destroys) it once drained().
+  bool draining() const { return draining_; }
+  void begin_drain() { draining_ = true; }
+  // Every committed byte delivered: nothing staged, nothing in flight.
+  bool drained() const { return staged_.empty() && inflight_.empty(); }
+  // Eligible for scheduler picks: established and not being torn down.
+  bool schedulable() const { return established() && !draining_; }
   // Applies lazy state transitions (idle CWND reset). The connection calls
   // this on every subflow before a scheduling round.
   void poll();
@@ -285,6 +296,7 @@ class Subflow final {
   TimePoint rack_delivered_ts_ = TimePoint::origin();
 
   TimePoint established_at_;
+  bool draining_ = false;
   bool cwnd_full_at_send_ = false;  // Linux tcp_is_cwnd_limited analogue
   TimePoint last_send_time_ = TimePoint::never();
   TimePoint last_penalty_ = TimePoint::never();

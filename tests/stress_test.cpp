@@ -205,6 +205,7 @@ TEST(StressGridTest, AllProfilesPassUnderCheckerAndActuallyBite) {
   EXPECT_GT(agg["reorder"].retransmits, 0u);  // reordering provokes recovery
   EXPECT_GT(agg["storm"].drops_fault, 0u);
   EXPECT_GT(agg["storm"].reordered, 0u);
+  EXPECT_GT(agg["handover"].drops_random, 0u);
 }
 
 TEST(StressGridTest, UnknownProfileNameThrows) {
