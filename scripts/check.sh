@@ -12,6 +12,7 @@
 #   scripts/check.sh --scale       # only the 1k-flow scale smoke (assumes ./build)
 #   scripts/check.sh --snapshot    # only the snapshot-and-fork smoke (assumes ./build)
 #   scripts/check.sh --handover    # only the path-churn/handover smoke (assumes ./build)
+#   scripts/check.sh --crossproduct # only the scheduler x CC grid smoke (assumes ./build)
 #
 # The default suite always includes a profiling smoke: a -DMPS_PROF=ON build
 # runs its profiler unit tests and the full golden corpus (byte-identical
@@ -161,6 +162,44 @@ run_handover_smoke() {
   "$build_dir/tools/mps_stress" --seeds 2 --profiles handover
 }
 
+# Cross-product smoke: the scheduler x CC grid must be bit-identical
+# serial vs parallel (stdout and the BENCH_crossproduct.json artifact), the
+# two pinned cross-product presets must run end to end, and a bounded
+# scheduler x CC slice of the "crossproduct" stress profile must pass under
+# the invariant checker (including the coupled-terms recompute check).
+run_crossproduct_smoke() {
+  local build_dir="$1"
+  echo "crossproduct smoke ($build_dir): bench_crossproduct jobs=1 vs jobs=4 + stress profile"
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_crossproduct mps_run mps_stress
+  local tmp
+  tmp="$(mktemp -d)"
+  local serial parallel
+  serial="$(MPS_BENCH_SCALE=quick MPS_BENCH_JOBS=1 \
+    "$build_dir/bench/bench_crossproduct" "$tmp/serial.json")"
+  parallel="$(MPS_BENCH_SCALE=quick MPS_BENCH_JOBS=4 \
+    "$build_dir/bench/bench_crossproduct" "$tmp/parallel.json")"
+  if [[ "${serial%wrote *}" != "${parallel%wrote *}" ]]; then
+    echo "bench_crossproduct: jobs=1 vs jobs=4 outputs differ" >&2
+    diff <(printf '%s\n' "$serial") <(printf '%s\n' "$parallel") >&2 || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  if ! diff "$tmp/serial.json" "$tmp/parallel.json"; then
+    echo "bench_crossproduct: jobs=1 vs jobs=4 JSON artifacts differ" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  rm -rf "$tmp"
+  echo "  scenarios/crossproduct_qaware_balia.json"
+  "$build_dir/tools/mps_run" scenarios/crossproduct_qaware_balia.json \
+    --set workload.bytes=65536 --set workload.runs=1 >/dev/null
+  echo "  scenarios/oco_correlated_loss.json"
+  "$build_dir/tools/mps_run" scenarios/oco_correlated_loss.json \
+    --set workload.bytes=65536 --set workload.runs=1 >/dev/null
+  "$build_dir/tools/mps_stress" --profiles crossproduct \
+    --schedulers default,ecf,qaware,oco --ccs reno,cubic,lia,olia,balia --seeds 1
+}
+
 # Seeded stress sweep under the invariant checker. Cell counts are chosen
 # for bounded runtime: the quick pass (2 seeds, 72 cells) rides along with
 # every default run; the sanitizer pass uses 6 seeds (216 cells) so the
@@ -182,6 +221,7 @@ fairness_only=0
 scale_only=0
 snapshot_only=0
 handover_only=0
+crossproduct_only=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -194,6 +234,7 @@ for arg in "$@"; do
     --scale) scale_only=1 ;;
     --snapshot) snapshot_only=1 ;;
     --handover) handover_only=1 ;;
+    --crossproduct) crossproduct_only=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -234,10 +275,17 @@ if [[ "$handover_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$crossproduct_only" == 1 ]]; then
+  run_crossproduct_smoke build
+  echo "check.sh: crossproduct smoke passed"
+  exit 0
+fi
+
 run_suite build "" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_scenarios_smoke build
 run_snapshot_smoke build
 run_handover_smoke build
+run_crossproduct_smoke build
 run_stress_sweep build --seeds 2
 run_fairness_smoke build
 run_scale_smoke build
@@ -248,6 +296,7 @@ if [[ "$sanitize" == 1 ]]; then
   run_scenarios_smoke build-sanitize
   run_snapshot_smoke build-sanitize
   run_handover_smoke build-sanitize
+  run_crossproduct_smoke build-sanitize
   run_stress_sweep build-sanitize --seeds 6
   run_scale_smoke build-sanitize
 fi
@@ -260,6 +309,7 @@ if [[ "$tsan" == 1 ]]; then
   run_scenarios_smoke build-tsan
   run_snapshot_smoke build-tsan
   run_handover_smoke build-tsan
+  run_crossproduct_smoke build-tsan
 fi
 
 if [[ "$notrace" == 1 ]]; then

@@ -277,6 +277,55 @@ void InvariantChecker::check_connection(ConnWatch& w, const char* context, bool 
     }
   }
 
+  // --- coupled-CC shared-term cache consistency ------------------------------
+  // Recompute the cross-subflow aggregates from scratch and require exact
+  // equality with the connection's cached CoupledCcTerms. The cached read
+  // itself refreshes when marked dirty, so a mismatch can only mean a stale
+  // cache served (or would have served) a coupled controller: some input
+  // changed without on_cc_input_change() firing. Exact (bitwise) double
+  // comparison is intentional — cached and fresh values come from the same
+  // deterministic computation over the same snapshot.
+  {
+    terms_scratch_.siblings.clear();
+    c.cc_sibling_info(terms_scratch_.siblings);
+    terms_scratch_.recompute();
+    const CoupledCcTerms& cached = c.coupled_terms();
+    bool same = cached.siblings.size() == terms_scratch_.siblings.size() &&
+                cached.olia_flags == terms_scratch_.olia_flags &&
+                cached.lia_total_cwnd == terms_scratch_.lia_total_cwnd &&
+                cached.lia_best_ratio == terms_scratch_.lia_best_ratio &&
+                cached.lia_sum_cwnd_over_rtt == terms_scratch_.lia_sum_cwnd_over_rtt &&
+                cached.olia_n == terms_scratch_.olia_n &&
+                cached.olia_sum_cwnd_over_rtt == terms_scratch_.olia_sum_cwnd_over_rtt &&
+                cached.olia_best_quality == terms_scratch_.olia_best_quality &&
+                cached.olia_max_cwnd == terms_scratch_.olia_max_cwnd &&
+                cached.olia_b_minus_m == terms_scratch_.olia_b_minus_m &&
+                cached.olia_m_count == terms_scratch_.olia_m_count &&
+                cached.balia_sum_x == terms_scratch_.balia_sum_x &&
+                cached.balia_max_x == terms_scratch_.balia_max_x;
+    if (same) {
+      for (std::size_t i = 0; i < cached.siblings.size(); ++i) {
+        const CcSiblingInfo& a = cached.siblings[i];
+        const CcSiblingInfo& b = terms_scratch_.siblings[i];
+        if (a.subflow_id != b.subflow_id || a.cwnd != b.cwnd || a.srtt_s != b.srtt_s ||
+            a.established != b.established || a.inter_loss_bytes != b.inter_loss_bytes) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (!same) {
+      violation("coupled-terms",
+                fmt("cached CcTerms stale: lia_total=%g/%g lia_sum=%g/%g olia_n=%d/%d "
+                    "balia_sum_x=%g/%g (cached/fresh, %zu/%zu siblings) (%s)",
+                    cached.lia_total_cwnd, terms_scratch_.lia_total_cwnd,
+                    cached.lia_sum_cwnd_over_rtt, terms_scratch_.lia_sum_cwnd_over_rtt,
+                    cached.olia_n, terms_scratch_.olia_n, cached.balia_sum_x,
+                    terms_scratch_.balia_sum_x, cached.siblings.size(),
+                    terms_scratch_.siblings.size(), context));
+    }
+  }
+
   check_conservation(w, context);
 }
 

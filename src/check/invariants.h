@@ -29,6 +29,11 @@
 //                   data in flight; the RACK timer implies data in flight
 //   rcv-order       per-subflow receiver holds out-of-order segments only
 //                   strictly above its cumulative point
+//   coupled-terms   the connection's cached cross-subflow CC aggregates
+//                   (CoupledCcTerms) match a from-scratch recomputation —
+//                   a mismatch means a cwnd/RTT/inter-loss/membership change
+//                   was not invalidated and a coupled controller (LIA, OLIA,
+//                   BALIA) read stale coupling state
 //
 // A violation is recorded (never thrown): the harness inspects ok() /
 // violations() and fails the run, printing report().
@@ -113,6 +118,7 @@ class InvariantChecker final : public EventSink {
   // so per-call vectors would dominate the ACK-path allocation profile.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> held_scratch_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_scratch_;
+  CoupledCcTerms terms_scratch_;  // fresh recomputation for coupled-terms
   std::vector<Violation> violations_;
   std::uint64_t checks_run_ = 0;
   static constexpr std::size_t kMaxViolations = 100;

@@ -40,6 +40,19 @@ void apply_profile(const std::string& profile, ScenarioSpec& spec) {
     wifi.faults = ge_wifi_faults();
     return;
   }
+  if (profile == "crossproduct") {
+    // Scheduler x CC grid fodder: light wifi bursts plus trace iid loss on
+    // lte. Every pairing must complete well inside the cap, so the bursts
+    // are shorter and rarer than "ge_wifi", but each controller still takes
+    // real loss events on both paths (the bite-check in stress_test asserts
+    // drops_fault > 0 across the grid).
+    wifi.faults = ge_wifi_faults();
+    wifi.faults.gilbert_elliott.p_good_bad = 0.01;
+    wifi.faults.gilbert_elliott.p_bad_good = 0.5;
+    wifi.faults.gilbert_elliott.loss_bad = 0.4;
+    lte.loss_rate = 0.003;
+    return;
+  }
   if (profile == "outage") {
     // Timescales sized to the transfer (a few hundred ms): the wifi flap's
     // second down window overlaps the lte blackout, so for ~100 ms both
@@ -162,8 +175,9 @@ StressCellResult run_churn_cell(const ScenarioSpec& spec) {
 }  // namespace
 
 const std::vector<std::string>& stress_profile_names() {
-  static const std::vector<std::string> names = {"clean",   "iid",   "ge_wifi",  "outage",
-                                                 "reorder", "storm", "handover", "churn"};
+  static const std::vector<std::string> names = {"clean",  "iid",      "ge_wifi",
+                                                 "outage", "reorder",  "storm",
+                                                 "handover", "churn",  "crossproduct"};
   return names;
 }
 
@@ -173,6 +187,7 @@ ScenarioSpec stress_spec(const StressCell& cell) {
   spec.paths.push_back(wifi_path(8.0));
   spec.paths.push_back(lte_path(10.0));
   spec.scheduler = cell.scheduler;
+  spec.conn.cc = cell.cc;
   spec.workload.kind = WorkloadKind::kDownload;
   spec.workload.bytes = static_cast<std::int64_t>(cell.bytes);
   spec.seed = cell.seed;

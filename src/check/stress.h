@@ -16,6 +16,7 @@ namespace mps {
 struct StressCell {
   std::string profile = "clean";      // one of stress_profile_names()
   std::string scheduler = "default";  // sched/registry name
+  std::string cc = "lia";             // tcp/cc_registry name
   std::uint64_t seed = 1;
   std::uint64_t bytes = 512 * 1024;   // object size for the download
   double cap_s = 120.0;               // sim-time budget; hitting it = stall
@@ -45,7 +46,10 @@ struct StressCellResult {
 // paths torn down and re-joined mid-transfer, drain and abandon modes, under
 // light loss), "churn" (competing-traffic run with Poisson
 // connection arrivals/departures and light iid loss, every flow watched by
-// the checker until it is torn down).
+// the checker until it is torn down), "crossproduct" (light Gilbert-Elliott
+// bursts on wifi plus light iid loss on lte — gentle enough that every
+// scheduler x congestion-controller pairing completes, but lossy enough to
+// exercise each controller's loss response and the coupled-terms check).
 const std::vector<std::string>& stress_profile_names();
 
 // The two-path download spec a cell runs. Throws std::invalid_argument for

@@ -107,6 +107,7 @@ std::uint32_t Connection::add_subflow(Path& path, Duration join_delay) {
   slot_paths_.push_back(&path);
   retired_stats_.emplace_back();
   rebuild_subflow_ptrs();
+  cc_terms_valid_ = false;  // new sibling (and a new establishment horizon)
   scheduler_->on_subflow_change(*this);
   MPS_TRACE_EVENT(sim_, EventType::kSubflowChange, config_.conn_id, id, {"op", "add"});
   return id;
@@ -162,6 +163,7 @@ void Connection::finalize_subflow(std::uint32_t id) {
   subflows_[id].reset();
   receivers_[id].reset();
   rebuild_subflow_ptrs();
+  cc_terms_valid_ = false;  // sibling left the coupled group
 }
 
 void Connection::rebuild_subflow_ptrs() {
@@ -351,6 +353,23 @@ void Connection::cc_sibling_info(std::vector<CcSiblingInfo>& out) const {
   }
 }
 
+const CoupledCcTerms& Connection::coupled_terms() const {
+  const bool horizon_passed =
+      !cc_terms_horizon_.is_never() && sim_.now() >= cc_terms_horizon_;
+  if (!cc_terms_valid_ || horizon_passed) {
+    cc_terms_.siblings.clear();
+    cc_sibling_info(cc_terms_.siblings);
+    cc_terms_.recompute();
+    cc_terms_horizon_ = TimePoint::never();
+    for (const auto& sf : subflows_) {
+      if (sf == nullptr || sf->established()) continue;
+      cc_terms_horizon_ = std::min(cc_terms_horizon_, sf->established_at());
+    }
+    cc_terms_valid_ = true;
+  }
+  return cc_terms_;
+}
+
 void Connection::collect_ooo_ranges(
     std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
   for (std::size_t i = 0; i < meta_ooo_.size(); ++i) {
@@ -525,6 +544,8 @@ void Connection::restore_from(const Connection& src) {
   ooo_delay_ = src.ooo_delay_;
   sndbuf_blocked_ = src.sndbuf_blocked_;
   sndbuf_blocked_since_ = src.sndbuf_blocked_since_;
+
+  cc_terms_valid_ = false;  // per-subflow restores below rewrite every input
 
   scheduler_->restore_from(*src.scheduler_);
   for (std::size_t i = 0; i < subflows_.size(); ++i) {

@@ -211,9 +211,17 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
   void on_data_ack(std::uint64_t data_ack) override;
   void on_rwnd_update(std::uint64_t rwnd) override;
   const CcGroup* cc_group() const override { return this; }
+  void on_cc_input_change() override { cc_terms_valid_ = false; }
 
   // --- CcGroup ---------------------------------------------------------------
   void cc_sibling_info(std::vector<CcSiblingInfo>& out) const override;
+  // Cached coupled-controller aggregates, recomputed lazily after any
+  // subflow cwnd/RTT/inter-loss change (on_cc_input_change), membership
+  // change, restore, or the establishment horizon passing: established() is
+  // clock-derived, so a join flips a sibling's eligibility without any event
+  // on this connection — the cache records the earliest future
+  // established_at and expires itself at that instant.
+  const CoupledCcTerms& coupled_terms() const override;
 
   // --- MetaSink ---------------------------------------------------------------
   void on_subflow_deliver(std::uint32_t subflow_id, std::uint64_t data_seq,
@@ -287,6 +295,11 @@ class Connection final : public SubflowEnv, public CcGroup, public MetaSink {
 
   MetaStats meta_stats_;
   Samples ooo_delay_;
+
+  // Shared coupled-CC aggregate cache (see coupled_terms()).
+  mutable CoupledCcTerms cc_terms_;
+  mutable bool cc_terms_valid_ = false;
+  mutable TimePoint cc_terms_horizon_ = TimePoint::never();
 
   // Flight-recorder instruments (no-ops unless a recorder was attached to
   // the Simulator before construction). Pointer to a per-connection block

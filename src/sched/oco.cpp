@@ -1,0 +1,186 @@
+#include "sched/oco.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mptcp/connection.h"
+#include "tcp/subflow.h"
+
+namespace mps {
+
+OcoScheduler::PathState* OcoScheduler::state_of(std::uint32_t id) {
+  for (PathState& p : paths_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+double OcoScheduler::weight_of(std::uint32_t subflow_id) const {
+  for (const PathState& p : paths_) {
+    if (p.id == subflow_id) return p.weight;
+  }
+  return 0.0;
+}
+
+void OcoScheduler::normalize_weights() {
+  double sum = 0.0;
+  for (const PathState& p : paths_) sum += p.weight;
+  if (sum <= 0.0) {
+    const double even = paths_.empty() ? 1.0 : 1.0 / static_cast<double>(paths_.size());
+    for (PathState& p : paths_) p.weight = even;
+    return;
+  }
+  for (PathState& p : paths_) p.weight /= sum;
+}
+
+void OcoScheduler::sync_paths(Connection& conn) {
+  // The live list is id-ascending, so appending newcomers in iteration order
+  // keeps paths_ id-ascending too (ids are never reused).
+  bool added = false;
+  for (Subflow* sf : conn.subflows()) {
+    if (!sf->schedulable() || state_of(sf->id()) != nullptr) continue;
+    PathState p;
+    p.id = sf->id();
+    p.weight = paths_.empty() ? 1.0 : 1.0 / static_cast<double>(paths_.size());
+    p.last_sent = sf->stats().segments_sent;
+    p.last_retx = sf->stats().retransmits;
+    paths_.push_back(p);
+    added = true;
+  }
+  if (added) {
+    std::sort(paths_.begin(), paths_.end(),
+              [](const PathState& a, const PathState& b) { return a.id < b.id; });
+    normalize_weights();
+  }
+}
+
+void OcoScheduler::on_subflow_change(Connection& conn) {
+  // Keep only paths still present and not being torn down; learned weights
+  // of the survivors are preserved and renormalized.
+  std::vector<PathState> kept;
+  kept.reserve(paths_.size());
+  for (const PathState& p : paths_) {
+    for (Subflow* sf : conn.subflows()) {
+      if (sf->id() == p.id && !sf->draining()) {
+        kept.push_back(p);
+        break;
+      }
+    }
+  }
+  paths_ = std::move(kept);
+  normalize_weights();
+  if (paths_.size() < 2) armed_ = false;  // nothing left to duplicate onto
+}
+
+void OcoScheduler::update_weights(Connection& conn) {
+  // Refresh per-path loss EWMAs and find the fastest live RTT.
+  double min_rtt_s = 0.0;
+  std::size_t live = 0;
+  for (PathState& p : paths_) {
+    Subflow* sf = nullptr;
+    for (Subflow* cand : conn.subflows()) {
+      if (cand->id() == p.id) {
+        sf = cand;
+        break;
+      }
+    }
+    if (sf == nullptr || !sf->schedulable()) continue;
+    const std::uint64_t sent = sf->stats().segments_sent;
+    const std::uint64_t retx = sf->stats().retransmits;
+    const std::uint64_t d_sent = sent - p.last_sent;
+    const std::uint64_t d_retx = retx - p.last_retx;
+    p.last_sent = sent;
+    p.last_retx = retx;
+    const std::uint64_t activity = d_sent + d_retx;
+    if (activity > 0) {
+      const double rate = static_cast<double>(d_retx) / static_cast<double>(activity);
+      p.loss_ewma += config_.ewma_gain * (rate - p.loss_ewma);
+    }
+    const double rtt_s = sf->rtt_estimate().to_seconds();
+    if (live == 0 || rtt_s < min_rtt_s) min_rtt_s = rtt_s;
+    ++live;
+  }
+  if (live == 0) return;
+
+  // Exponentiated-gradient step against the per-path cost, with an
+  // exploration floor so a path can recover after its cost falls.
+  const double floor = config_.min_weight / static_cast<double>(paths_.size());
+  for (PathState& p : paths_) {
+    Subflow* sf = nullptr;
+    for (Subflow* cand : conn.subflows()) {
+      if (cand->id() == p.id) {
+        sf = cand;
+        break;
+      }
+    }
+    if (sf == nullptr || !sf->schedulable()) continue;
+    const double rtt_s = sf->rtt_estimate().to_seconds();
+    const double rtt_cost = min_rtt_s > 0.0 ? rtt_s / min_rtt_s - 1.0 : 0.0;
+    const double cost = rtt_cost + config_.loss_weight * p.loss_ewma;
+    p.weight = std::max(p.weight * std::exp(-config_.eta * cost), floor);
+  }
+  normalize_weights();
+
+  // Redundancy regime: arm when at least two live paths all show material
+  // loss (loss-correlated regime — no clean path to prefer); disarm once any
+  // path's EWMA decays back under the lower hysteresis threshold.
+  if (config_.redundancy && live >= 2) {
+    bool all_lossy = true;
+    bool any_clean = false;
+    for (const PathState& p : paths_) {
+      if (p.loss_ewma <= config_.arm_threshold) all_lossy = false;
+      if (p.loss_ewma < config_.disarm_threshold) any_clean = true;
+    }
+    if (!armed_ && all_lossy) armed_ = true;
+    if (armed_ && any_clean) armed_ = false;
+  } else {
+    armed_ = false;
+  }
+}
+
+Subflow* OcoScheduler::pick(Connection& conn) {
+  sync_paths(conn);
+  if (paths_.empty()) return nullptr;
+
+  if (++picks_since_update_ >= config_.update_period) {
+    picks_since_update_ = 0;
+    update_weights(conn);
+  }
+
+  // Weighted deficit round. Credits accrue only when some subflow could
+  // actually take the segment, so an all-blocked stretch cannot bank
+  // unbounded credit; the cap bounds what a long-blocked path can claim
+  // back-to-back once it frees up.
+  Subflow* best = nullptr;
+  PathState* best_state = nullptr;
+  bool any_accepting = false;
+  for (Subflow* sf : conn.subflows()) {
+    if (sf->can_accept()) {
+      any_accepting = true;
+      break;
+    }
+  }
+  if (!any_accepting) return nullptr;
+
+  for (PathState& p : paths_) {
+    Subflow* sf = nullptr;
+    for (Subflow* cand : conn.subflows()) {
+      if (cand->id() == p.id) {
+        sf = cand;
+        break;
+      }
+    }
+    if (sf == nullptr || !sf->schedulable()) continue;
+    p.credit = std::min(p.credit + p.weight, config_.credit_cap);
+    if (!sf->can_accept()) continue;
+    if (best_state == nullptr || p.credit > best_state->credit) {
+      best = sf;
+      best_state = &p;
+    }
+  }
+  if (best_state == nullptr) return nullptr;
+  best_state->credit -= 1.0;
+  return best;
+}
+
+}  // namespace mps

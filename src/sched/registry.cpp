@@ -6,6 +6,8 @@
 #include "sched/blest.h"
 #include "sched/daps.h"
 #include "sched/minrtt.h"
+#include "sched/oco.h"
+#include "sched/qaware.h"
 #include "sched/redundant.h"
 #include "sched/roundrobin.h"
 #include "sched/singlepath.h"
@@ -34,7 +36,28 @@ SchedulerFactory scheduler_factory(const std::string& name) {
   if (name == "redundant") {
     return [] { return std::make_unique<RedundantScheduler>(); };
   }
-  throw std::invalid_argument("unknown scheduler: " + name);
+  if (name == "qaware") {
+    return [] { return std::make_unique<QAwareScheduler>(); };
+  }
+  if (name == "oco") {
+    return [] { return std::make_unique<OcoScheduler>(); };
+  }
+  // Enumerate the registered names so a typo in a spec or CLI flag reads as
+  // "pick one of these" rather than a dead end (tests assert this list stays
+  // in sync with the factory).
+  std::string known;
+  for (const std::string& n : scheduler_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown scheduler \"" + name + "\" (known: " + known + ")");
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> kNames = {"default", "ecf",    "blest",
+                                                  "daps",    "rr",     "single",
+                                                  "redundant", "qaware", "oco"};
+  return kNames;
 }
 
 const std::vector<std::string>& paper_schedulers() {

@@ -9,9 +9,15 @@
 namespace mps {
 
 // Known names: "default" (min-RTT), "ecf", "blest", "daps", "rr", "single",
-// "redundant".
-// Throws std::invalid_argument for unknown names.
+// "redundant", "qaware", "oco". "minrtt" is accepted as an alias of
+// "default". Throws std::invalid_argument for unknown names, enumerating the
+// registered names in the message.
 SchedulerFactory scheduler_factory(const std::string& name);
+
+// Every constructible canonical scheduler name (aliases excluded), in the
+// order above. scheduler_factory() succeeds for exactly these plus aliases,
+// and its unknown-name error lists exactly this set.
+const std::vector<std::string>& scheduler_names();
 
 // The four schedulers the paper compares (Section 5 ordering).
 const std::vector<std::string>& paper_schedulers();

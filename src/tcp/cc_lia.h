@@ -8,10 +8,13 @@
 //
 // The coupling is what makes idle CWND resets expensive (paper Section 3.2):
 // a reset fast subflow drags down the aggregate increase rate.
+//
+// The cross-subflow aggregates come from the group's shared CoupledCcTerms
+// (recomputed once per cwnd/RTT event and cached by Connection) rather than
+// a private per-controller sibling walk; see CoupledCcTerms in cc.h.
 #pragma once
 
 #include <algorithm>
-#include <vector>
 
 #include "tcp/cc.h"
 
@@ -23,32 +26,18 @@ class LiaCc final : public CongestionController {
     if (ctx.group == nullptr) {
       return ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
     }
-    siblings_.clear();
-    ctx.group->cc_sibling_info(siblings_);
-
-    double total_cwnd = 0.0;
-    double best_ratio = 0.0;       // max_i cwnd_i / rtt_i^2
-    double sum_cwnd_over_rtt = 0.0;
-    for (const auto& s : siblings_) {
-      if (!s.established || s.srtt_s <= 0.0) continue;
-      total_cwnd += s.cwnd;
-      best_ratio = std::max(best_ratio, s.cwnd / (s.srtt_s * s.srtt_s));
-      sum_cwnd_over_rtt += s.cwnd / s.srtt_s;
-    }
-    if (total_cwnd <= 0.0 || sum_cwnd_over_rtt <= 0.0) {
+    const CoupledCcTerms& t = ctx.group->coupled_terms();
+    if (t.lia_total_cwnd <= 0.0 || t.lia_sum_cwnd_over_rtt <= 0.0) {
       return ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
     }
-    const double alpha =
-        total_cwnd * best_ratio / (sum_cwnd_over_rtt * sum_cwnd_over_rtt);
-    const double coupled = alpha / total_cwnd;
+    const double alpha = t.lia_total_cwnd * t.lia_best_ratio /
+                         (t.lia_sum_cwnd_over_rtt * t.lia_sum_cwnd_over_rtt);
+    const double coupled = alpha / t.lia_total_cwnd;
     const double uncoupled = ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
     return std::min(coupled, uncoupled);
   }
 
   const char* name() const override { return "lia"; }
-
- private:
-  std::vector<CcSiblingInfo> siblings_;  // reused to avoid per-ack allocation
 };
 
 }  // namespace mps

@@ -8,11 +8,13 @@
 //   alpha_r =  1 / (n |B \ M|)  if r in B \ M (collected paths)
 //   alpha_r = -1 / (n |M|)      if r in M and B \ M nonempty
 //   alpha_r =  0                otherwise.
+//
+// The aggregates and the B/M set memberships come from the group's shared
+// CoupledCcTerms (cached by Connection); only the self lookup remains
+// per-ack. See CoupledCcTerms in cc.h.
 #pragma once
 
 #include <algorithm>
-#include <cmath>
-#include <vector>
 
 #include "tcp/cc.h"
 
@@ -24,51 +26,31 @@ class OliaCc final : public CongestionController {
     if (ctx.group == nullptr) {
       return ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
     }
-    siblings_.clear();
-    ctx.group->cc_sibling_info(siblings_);
-
-    double sum_cwnd_over_rtt = 0.0;
-    int n = 0;
-    double best_quality = -1.0;  // max l_r^2 / cwnd_r
-    double max_cwnd = -1.0;
-    for (const auto& s : siblings_) {
-      if (!s.established || s.srtt_s <= 0.0 || s.cwnd <= 0.0) continue;
-      ++n;
-      sum_cwnd_over_rtt += s.cwnd / s.srtt_s;
-      best_quality = std::max(best_quality, quality(s));
-      max_cwnd = std::max(max_cwnd, s.cwnd);
-    }
-    if (n == 0 || sum_cwnd_over_rtt <= 0.0) {
+    const CoupledCcTerms& t = ctx.group->coupled_terms();
+    if (t.olia_n == 0 || t.olia_sum_cwnd_over_rtt <= 0.0) {
       return ctx.cwnd > 0.0 ? 1.0 / ctx.cwnd : 1.0;
     }
 
-    // Membership of self in B (best paths) and M (max-window paths); sets
-    // compared with a small tolerance since values are continuous here.
-    int b_minus_m = 0, m_count = 0;
     bool self_in_b = false, self_in_m = false;
-    for (const auto& s : siblings_) {
-      if (!s.established || s.srtt_s <= 0.0 || s.cwnd <= 0.0) continue;
-      const bool in_b = quality(s) >= best_quality * (1.0 - kTol);
-      const bool in_m = s.cwnd >= max_cwnd * (1.0 - kTol);
-      if (in_m) ++m_count;
-      if (in_b && !in_m) ++b_minus_m;
-      if (s.subflow_id == ctx.self_id) {
-        self_in_b = in_b;
-        self_in_m = in_m;
-      }
+    for (std::size_t i = 0; i < t.siblings.size(); ++i) {
+      if (t.siblings[i].subflow_id != ctx.self_id) continue;
+      self_in_b = (t.olia_flags[i] & CoupledCcTerms::kOliaInB) != 0;
+      self_in_m = (t.olia_flags[i] & CoupledCcTerms::kOliaInM) != 0;
+      break;
     }
 
     double alpha = 0.0;
-    if (b_minus_m > 0) {
+    if (t.olia_b_minus_m > 0) {
       if (self_in_b && !self_in_m) {
-        alpha = 1.0 / (static_cast<double>(n) * b_minus_m);
+        alpha = 1.0 / (static_cast<double>(t.olia_n) * t.olia_b_minus_m);
       } else if (self_in_m) {
-        alpha = -1.0 / (static_cast<double>(n) * m_count);
+        alpha = -1.0 / (static_cast<double>(t.olia_n) * t.olia_m_count);
       }
     }
 
     const double rtt = ctx.srtt_s > 0.0 ? ctx.srtt_s : 1e-3;
-    double inc = (ctx.cwnd / (rtt * rtt)) / (sum_cwnd_over_rtt * sum_cwnd_over_rtt) +
+    double inc = (ctx.cwnd / (rtt * rtt)) /
+                     (t.olia_sum_cwnd_over_rtt * t.olia_sum_cwnd_over_rtt) +
                  alpha / std::max(ctx.cwnd, 1.0);
     // Never decrease below a minimal positive growth; OLIA's alpha can make
     // the sum slightly negative for max-window paths.
@@ -76,15 +58,6 @@ class OliaCc final : public CongestionController {
   }
 
   const char* name() const override { return "olia"; }
-
- private:
-  static constexpr double kTol = 1e-6;
-
-  static double quality(const CcSiblingInfo& s) {
-    return s.cwnd > 0.0 ? (s.inter_loss_bytes * s.inter_loss_bytes) / s.cwnd : 0.0;
-  }
-
-  std::vector<CcSiblingInfo> siblings_;
 };
 
 }  // namespace mps

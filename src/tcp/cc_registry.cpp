@@ -5,7 +5,8 @@
 namespace mps {
 
 namespace {
-constexpr CcKind kAllKinds[] = {CcKind::kReno, CcKind::kCubic, CcKind::kLia, CcKind::kOlia};
+constexpr CcKind kAllKinds[] = {CcKind::kReno, CcKind::kCubic, CcKind::kLia, CcKind::kOlia,
+                                CcKind::kBalia};
 }
 
 CcKind cc_kind_from_name(const std::string& name) {

@@ -10,8 +10,9 @@
 
 namespace mps {
 
-// Known names: "reno", "cubic", "lia", "olia" (same strings cc_kind_name
-// returns). Throws std::invalid_argument for unknown names.
+// Known names: "reno", "cubic", "lia", "olia", "balia" (same strings
+// cc_kind_name returns). Throws std::invalid_argument for unknown names,
+// enumerating the registered names in the message.
 CcKind cc_kind_from_name(const std::string& name);
 
 // All registered controller names, in kind order.

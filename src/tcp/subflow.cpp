@@ -64,6 +64,7 @@ void Subflow::set_cwnd(double cwnd) {
   cwnd = std::max(cwnd, config_.min_cwnd);
   if (cwnd == cwnd_) return;
   cwnd_ = cwnd;
+  if (env_ != nullptr) env_->on_cc_input_change();
   obs_->cwnd.set(sim_.now(), cwnd_);
   if (on_cwnd_change) on_cwnd_change(sim_.now(), cwnd_);
 }
@@ -260,6 +261,9 @@ void Subflow::process_new_ack(const Packet& ack) {
     obs_->srtt_ms.set(sim_.now(), rtt_.srtt().to_millis());
     obs_->rtt_sample_ms.record(sample.to_millis());
   }
+  // inter_loss_bytes_ advanced (and possibly the RTT estimate): the group's
+  // cached coupled-CC terms must not serve the ca_increase calls below.
+  if (env_ != nullptr) env_->on_cc_input_change();
   MPS_TRACE_EVENT(sim_, EventType::kPktAck, config_.conn_id, config_.id,
                   {"ack", ack.ack_seq}, {"acked", acked_segments},
                   {"srtt_ms", rtt_.srtt().to_millis()}, {"cwnd", cwnd_});
@@ -420,6 +424,9 @@ void Subflow::enter_fast_recovery() {
   ssthresh_ = std::max(cwnd_ * cc_->loss_factor(), config_.min_cwnd);
   set_cwnd(ssthresh_);
   inter_loss_bytes_ = 0.0;
+  // Reset explicitly: set_cwnd() above may have been a no-op (cwnd already
+  // at the target), yet inter_loss_bytes_ changed.
+  if (env_ != nullptr) env_->on_cc_input_change();
   ++stats_.fast_retransmits;
   obs_->fast_recoveries.inc();
 }
@@ -485,6 +492,7 @@ void Subflow::on_rto_fire() {
   in_recovery_ = false;
   dupacks_ = 0;
   inter_loss_bytes_ = 0.0;
+  if (env_ != nullptr) env_->on_cc_input_change();  // see enter_fast_recovery
   ++rto_backoff_;
 
   // Everything outstanding that the receiver has not SACKed is presumed
@@ -591,6 +599,7 @@ void Subflow::restore_from(const Subflow& src) {
   stats_ = src.stats_;
   transmit_counter_ = src.transmit_counter_;
   cc_->restore_from(*src.cc_);
+  if (env_ != nullptr) env_->on_cc_input_change();
   // The timers hold fixed callbacks per owner (arm_rto / arm_rack_timer), so
   // cloning re-creates the exact closures the source installed.
   rto_timer_.clone_from(src.rto_timer_, [this] { on_rto_fire(); });

@@ -45,6 +45,10 @@ class SubflowEnv {
   virtual void on_rwnd_update(std::uint64_t rwnd) = 0;
   // Group view for coupled congestion controllers (may return nullptr).
   virtual const CcGroup* cc_group() const = 0;
+  // An input of the group's shared CoupledCcTerms changed on this subflow
+  // (cwnd, RTT estimate, or inter-loss bytes); the group's cached aggregates
+  // are stale. Default: no cache to invalidate.
+  virtual void on_cc_input_change() {}
 };
 
 struct SubflowConfig {

@@ -393,8 +393,7 @@ TEST(PathManagerInvariants, AllSchedulersHandoverGridClean) {
   // Every registered scheduler through the handover stress profile (drain +
   // abandon + re-join of both paths under light loss), with the byte
   // conservation checker watching the whole run.
-  for (const char* sched :
-       {"default", "ecf", "blest", "daps", "rr", "single", "redundant"}) {
+  for (const std::string& sched : scheduler_names()) {
     for (std::uint64_t seed : {1u, 2u}) {
       StressCell cell;
       cell.profile = "handover";

@@ -11,6 +11,8 @@
 #include "sched/blest.h"
 #include "sched/daps.h"
 #include "sched/minrtt.h"
+#include "sched/oco.h"
+#include "sched/qaware.h"
 #include "sched/redundant.h"
 #include "sched/registry.h"
 #include "sched/roundrobin.h"
@@ -140,15 +142,42 @@ TEST(BlestTest, SlowInflightReducesSpace) {
 // --- registry -------------------------------------------------------------------
 
 TEST(RegistryTest, KnowsAllNames) {
-  for (const char* name :
-       {"default", "minrtt", "ecf", "blest", "daps", "rr", "single", "redundant"}) {
+  for (const char* name : {"default", "minrtt", "ecf", "blest", "daps", "rr", "single",
+                           "redundant", "qaware", "oco"}) {
     auto factory = scheduler_factory(name);
     EXPECT_NE(factory(), nullptr) << name;
   }
 }
 
+TEST(RegistryTest, NamesStayInSyncWithTheFactory) {
+  // scheduler_names() is the canonical list: every entry constructs through
+  // the factory and reports itself under the same name, so a scheduler added
+  // to one side but not the other fails here.
+  for (const std::string& name : scheduler_names()) {
+    auto sched = scheduler_factory(name)();
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_EQ(std::string(sched->name()), name);
+  }
+  EXPECT_EQ(scheduler_names().size(), 9u);
+  // "minrtt" is an alias, not a canonical name.
+  EXPECT_EQ(std::string(scheduler_factory("minrtt")()->name()), "default");
+}
+
 TEST(RegistryTest, ThrowsOnUnknown) {
   EXPECT_THROW(scheduler_factory("nope"), std::invalid_argument);
+}
+
+TEST(RegistryTest, UnknownNameErrorEnumeratesEveryRegisteredName) {
+  try {
+    scheduler_factory("nope");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    for (const std::string& name : scheduler_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
 }
 
 TEST(RegistryTest, PaperSchedulersListsFour) {
@@ -285,7 +314,7 @@ TEST(SchedulerBehaviourTest, RedundantMasksLossLatency) {
 }
 
 TEST(SchedulerBehaviourTest, EverySchedulerCompletesTheTransfer) {
-  for (const auto& name : {"default", "ecf", "blest", "daps", "rr", "redundant"}) {
+  for (const std::string& name : scheduler_names()) {
     Testbed bed(hetero());
     auto conn = bed.make_connection(scheduler_factory(name));
     std::uint64_t delivered = 0;
@@ -294,6 +323,45 @@ TEST(SchedulerBehaviourTest, EverySchedulerCompletesTheTransfer) {
     bed.sim().run_until(TimePoint::origin() + Duration::seconds(120));
     EXPECT_EQ(delivered, 1'000'000u) << name;
   }
+}
+
+TEST(SchedulerBehaviourTest, QAwarePrefersThePathWithShorterDrainTime) {
+  // On 1 Mbps wifi vs 10 Mbps lte, wifi's bottleneck queue fills and its
+  // per-packet serialization dominates the drain estimate, so QAware should
+  // steer the bulk of the transfer onto lte.
+  Testbed bed(hetero());
+  auto conn = bed.make_connection(scheduler_factory("qaware"));
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t b, TimePoint) { delivered += b; };
+  BulkSender sender(*conn, 1'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(120));
+  EXPECT_EQ(delivered, 1'000'000u);
+  EXPECT_GT(conn->subflows()[1]->stats().segments_sent,
+            conn->subflows()[0]->stats().segments_sent);
+}
+
+TEST(SchedulerBehaviourTest, OcoTracksBothPathsWithNormalizedWeights) {
+  OcoScheduler* oco = nullptr;
+  Testbed bed(hetero());
+  auto conn = bed.make_connection([&] {
+    auto s = std::make_unique<OcoScheduler>();
+    oco = s.get();
+    return s;
+  });
+  std::uint64_t delivered = 0;
+  conn->on_deliver = [&](std::uint64_t b, TimePoint) { delivered += b; };
+  BulkSender sender(*conn, 1'000'000);
+  bed.sim().run_until(TimePoint::origin() + Duration::seconds(120));
+  EXPECT_EQ(delivered, 1'000'000u);
+  ASSERT_NE(oco, nullptr);
+  EXPECT_EQ(oco->tracked_paths(), 2u);
+  const double w0 = oco->weight_of(conn->subflows()[0]->id());
+  const double w1 = oco->weight_of(conn->subflows()[1]->id());
+  EXPECT_GT(w0, 0.0);
+  EXPECT_GT(w1, 0.0);
+  EXPECT_NEAR(w0 + w1, 1.0, 1e-9);
+  // No loss anywhere: the redundancy regime must never arm.
+  EXPECT_FALSE(oco->armed());
 }
 
 }  // namespace

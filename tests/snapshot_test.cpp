@@ -18,6 +18,7 @@
 
 #include "app/http.h"
 #include "check/invariants.h"
+#include "check/stress.h"
 #include "exp/snapshot.h"
 #include "exp/testbed.h"
 #include "obs/recorder.h"
@@ -146,6 +147,32 @@ INSTANTIATE_TEST_SUITE_P(Jobs, ForkVsScratch, ::testing::Values(1, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "jobs" + std::to_string(info.param);
                          });
+
+// The learned-state schedulers through the fork machinery, under loss so the
+// state is nontrivial by snapshot time: QAware is stateless by design, but
+// OCO carries weights, deficit credits, activity baselines, and the
+// redundancy-armed flag, all of which restore_from() must copy exactly for
+// the forked suffix to replay byte-identically — at serial and parallel
+// sweep widths, and under a coupled controller so the shared CC terms
+// rebuild in the fork too.
+TEST(SnapshotFork, QAwareAndOcoForkByteIdenticalUnderLoss) {
+  for (const char* sched : {"qaware", "oco"}) {
+    for (const char* cc : {"balia", "olia"}) {
+      for (int jobs : {1, 4}) {
+        SCOPED_TRACE(std::string(sched) + "/" + cc + " jobs=" + std::to_string(jobs));
+        StressCell cell;
+        cell.profile = "crossproduct";
+        cell.scheduler = sched;
+        cell.cc = cc;
+        ScenarioSpec spec = stress_spec(cell);
+        spec.workload.bytes = 131072;
+        const std::string scratch = render_scratch(spec, nullptr);
+        const std::string forked = render_forked(spec, 0.05, jobs, nullptr);
+        EXPECT_EQ(scratch, forked);
+      }
+    }
+  }
+}
 
 // Forking must be equivalence-preserving wherever the snapshot lands —
 // before the first event, mid-run, and after the workload finished.

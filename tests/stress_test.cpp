@@ -14,6 +14,7 @@
 #include "obs/recorder.h"
 #include "scenario/world.h"
 #include "sched/registry.h"
+#include "tcp/cc_registry.h"
 #include "util/rng.h"
 
 namespace mps {
@@ -206,6 +207,49 @@ TEST(StressGridTest, AllProfilesPassUnderCheckerAndActuallyBite) {
   EXPECT_GT(agg["storm"].drops_fault, 0u);
   EXPECT_GT(agg["storm"].reordered, 0u);
   EXPECT_GT(agg["handover"].drops_random, 0u);
+  EXPECT_GT(agg["crossproduct"].drops_fault, 0u);
+}
+
+TEST(StressGridTest, CrossproductProfileRunsEverySchedulerTimesEveryCc) {
+  // The full scheduler x congestion-controller cross product under the
+  // checker and light burst loss: every registered pairing must complete
+  // without tripping an invariant (including the coupled-terms check that
+  // recomputes the shared CC aggregates from scratch), and the loss model
+  // must actually bite across the grid.
+  std::uint64_t drops_fault = 0;
+  std::uint64_t retransmits = 0;
+  for (const std::string& sched : scheduler_names()) {
+    for (const std::string& cc : cc_names()) {
+      StressCell cell;
+      cell.profile = "crossproduct";
+      cell.scheduler = sched;
+      cell.cc = cc;
+      cell.bytes = 256 * 1024;
+      const StressCellResult r = run_stress_cell(cell);
+      EXPECT_TRUE(r.ok()) << sched << "/" << cc << ": "
+                          << (r.violations.empty() ? "stalled" : r.violations.front());
+      EXPECT_GT(r.checks_run, 0u) << sched << "/" << cc;
+      drops_fault += r.drops_fault;
+      retransmits += r.retransmits;
+    }
+  }
+  EXPECT_GT(drops_fault, 0u);
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(StressGridTest, CrossproductCellPlumbsCcIntoTheSpec) {
+  StressCell cell;
+  cell.cc = "balia";
+  EXPECT_EQ(stress_spec(cell).conn.cc, "balia");
+  cell.cc = "no-such-cc";
+  // The bad name surfaces when the spec is built into a world, with the
+  // registry's enumerating message.
+  try {
+    run_stress_cell(cell);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-cc"), std::string::npos);
+  }
 }
 
 TEST(StressGridTest, UnknownProfileNameThrows) {

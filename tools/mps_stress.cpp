@@ -1,9 +1,9 @@
 // mps_stress — seeded invariant-checked stress sweep over fault profiles.
 //
 //   mps_stress [--seeds N] [--bytes B] [--profiles a,b,...]
-//              [--schedulers a,b,...] [--verbose]
+//              [--schedulers a,b,...] [--ccs a,b,...] [--verbose]
 //
-// Runs every (profile x scheduler x seed) cell of the grid as a two-path
+// Runs every (profile x scheduler x cc x seed) cell of the grid as a two-path
 // download with an InvariantChecker attached (check/stress.h), in parallel
 // (MPS_BENCH_JOBS workers, like the bench sweeps). Prints a per-profile
 // summary and every violation, and exits nonzero if any cell stalled or
@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 8;
   std::uint64_t bytes = 512 * 1024;
   std::vector<std::string> profiles = mps::stress_profile_names();
-  std::vector<std::string> schedulers = {"default", "ecf", "blest", "daps", "rr", "redundant"};
+  std::vector<std::string> schedulers = {"default", "ecf",    "blest", "daps",
+                                         "rr",      "redundant", "qaware", "oco"};
+  std::vector<std::string> ccs = {"lia"};
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,12 +60,14 @@ int main(int argc, char** argv) {
       profiles = split_csv(next());
     } else if (arg == "--schedulers") {
       schedulers = split_csv(next());
+    } else if (arg == "--ccs") {
+      ccs = split_csv(next());
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: mps_stress [--seeds N] [--bytes B] [--profiles a,b,...]\n"
-                   "                  [--schedulers a,b,...] [--verbose]\n");
+                   "                  [--schedulers a,b,...] [--ccs a,b,...] [--verbose]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -71,20 +75,24 @@ int main(int argc, char** argv) {
   std::vector<mps::StressCell> cells;
   for (const std::string& profile : profiles) {
     for (const std::string& sched : schedulers) {
-      for (std::uint64_t s = 0; s < seeds; ++s) {
-        mps::StressCell c;
-        c.profile = profile;
-        c.scheduler = sched;
-        c.seed = 1 + s;
-        c.bytes = bytes;
-        cells.push_back(c);
+      for (const std::string& cc : ccs) {
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+          mps::StressCell c;
+          c.profile = profile;
+          c.scheduler = sched;
+          c.cc = cc;
+          c.seed = 1 + s;
+          c.bytes = bytes;
+          cells.push_back(c);
+        }
       }
     }
   }
 
-  std::printf("mps_stress: %zu cells (%zu profiles x %zu schedulers x %llu seeds), %d jobs\n",
-              cells.size(), profiles.size(), schedulers.size(), (unsigned long long)seeds,
-              mps::sweep_jobs());
+  std::printf(
+      "mps_stress: %zu cells (%zu profiles x %zu schedulers x %zu ccs x %llu seeds), %d jobs\n",
+      cells.size(), profiles.size(), schedulers.size(), ccs.size(), (unsigned long long)seeds,
+      mps::sweep_jobs());
 
   const std::vector<mps::StressCellResult> results = mps::sweep_map<mps::StressCellResult>(
       cells.size(), [&](std::size_t i) { return mps::run_stress_cell(cells[i]); });
@@ -106,17 +114,17 @@ int main(int argc, char** argv) {
     agg.rtos += r.rto_events;
     agg.checks += r.checks_run;
     if (verbose) {
-      std::printf("  %-8s %-9s seed=%-3llu %s t=%.3fs rtx=%llu rto=%llu drops=%llu\n",
-                  c.profile.c_str(), c.scheduler.c_str(), (unsigned long long)c.seed,
-                  r.ok() ? "ok  " : "FAIL", r.completion_s,
+      std::printf("  %-12s %-9s %-6s seed=%-3llu %s t=%.3fs rtx=%llu rto=%llu drops=%llu\n",
+                  c.profile.c_str(), c.scheduler.c_str(), c.cc.c_str(),
+                  (unsigned long long)c.seed, r.ok() ? "ok  " : "FAIL", r.completion_s,
                   (unsigned long long)r.retransmits, (unsigned long long)r.rto_events,
                   (unsigned long long)(r.drops_random + r.drops_fault));
     }
     if (!r.ok()) {
       ++failed;
       ++agg.failed;
-      std::printf("FAIL %s/%s seed=%llu:\n", c.profile.c_str(), c.scheduler.c_str(),
-                  (unsigned long long)c.seed);
+      std::printf("FAIL %s/%s/%s seed=%llu:\n", c.profile.c_str(), c.scheduler.c_str(),
+                  c.cc.c_str(), (unsigned long long)c.seed);
       std::size_t shown = 0;
       for (const std::string& v : r.violations) {
         if (shown++ >= 8) {
@@ -128,10 +136,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-9s %6s %6s %10s %9s %9s %6s %12s\n", "profile", "cells", "fail", "drops",
+  std::printf("%-12s %6s %6s %10s %9s %9s %6s %12s\n", "profile", "cells", "fail", "drops",
               "reorder", "rtx", "rto", "checks");
   for (const auto& [name, agg] : by_profile) {
-    std::printf("%-9s %6zu %6zu %10llu %9llu %9llu %6llu %12llu\n", name.c_str(), agg.cells,
+    std::printf("%-12s %6zu %6zu %10llu %9llu %9llu %6llu %12llu\n", name.c_str(), agg.cells,
                 agg.failed, (unsigned long long)agg.drops, (unsigned long long)agg.reordered,
                 (unsigned long long)agg.retransmits, (unsigned long long)agg.rtos,
                 (unsigned long long)agg.checks);
